@@ -1,0 +1,69 @@
+"""Ablation — batched vs one-at-a-time Steiner insertion (§3).
+
+The paper notes Steiner points "may be added in batches based on a
+non-interference criterion", with very few rounds needed in practice
+(≤ 3 typical).  This bench compares solution quality and candidate-scan
+rounds for the two IGMST modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import congested_grid
+from repro.analysis.tables import render_table
+from repro.graph import ShortestPathCache, random_net
+from repro.steiner import ikmb
+from .conftest import full_scale, record
+
+
+def test_ablation_batched(benchmark):
+    rng = random.Random(21)
+    count = 10 if full_scale() else 5
+    instances = []
+    for _ in range(count):
+        g, _ = congested_grid(12, 6, rng)
+        instances.append((g, random_net(g, 6, rng)))
+
+    def run():
+        stats = {}
+        for batched in (False, True):
+            total = 0.0
+            rounds = []
+            for g, net in instances:
+                cache = ShortestPathCache(g)
+                tree = ikmb(
+                    g, net, cache=cache, batched=batched, record_trace=True
+                )
+                total += tree.cost
+                rounds.append(tree.trace.rounds)
+            stats[batched] = (total, rounds)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for batched, (total, rounds) in stats.items():
+        rows.append(
+            [
+                "batched" if batched else "one-at-a-time",
+                round(total, 2),
+                max(rounds),
+                round(sum(rounds) / len(rounds), 1),
+            ]
+        )
+    record(
+        "ablation_batched",
+        render_table(
+            ["mode", "total wirelength", "max rounds", "mean rounds"],
+            rows,
+            title="Ablation: IGMST insertion mode",
+        ),
+    )
+    total_seq, _ = stats[False]
+    total_bat, rounds_bat = stats[True]
+    # batched quality stays within 5% of sequential
+    assert total_bat <= total_seq * 1.05
+    # and the paper's observation holds: very few batch rounds
+    assert max(rounds_bat) <= 4

@@ -1,0 +1,72 @@
+"""Ablation — IGMST Steiner-candidate strategies (DESIGN.md §6).
+
+The paper's IGMST scans all of V − N for candidates; the router
+restricts the scan for speed.  This bench quantifies the
+quality/runtime tradeoff of ``all`` vs ``neighborhood`` vs an explicit
+near-tree pool on congested grids.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import congested_grid
+from repro.analysis.tables import render_table
+from repro.graph import ShortestPathCache, random_net
+from repro.steiner import ikmb, kmb
+from .conftest import full_scale, record
+
+
+def _instances(count: int, seed: int = 9):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        g, _ = congested_grid(14, 8, rng)
+        out.append((g, random_net(g, 6, rng)))
+    return out
+
+
+def test_ablation_candidate_strategies(benchmark):
+    instances = _instances(8 if full_scale() else 4)
+
+    def run():
+        rows = []
+        for strategy in ("all", "neighborhood"):
+            total_cost = 0.0
+            total_kmb = 0.0
+            start = time.perf_counter()
+            for g, net in instances:
+                cache = ShortestPathCache(g)
+                total_kmb += kmb(g, net, cache).cost
+                total_cost += ikmb(
+                    g, net, cache=cache, candidates=strategy
+                ).cost
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    strategy,
+                    round(total_cost, 2),
+                    round((total_cost / total_kmb - 1) * 100, 2),
+                    round(elapsed * 1000 / len(instances), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_candidates",
+        render_table(
+            ["candidates", "total wirelength", "% vs KMB", "ms/net"],
+            rows,
+            title="Ablation: IGMST candidate strategy "
+            "(quality vs runtime)",
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # the full scan is the quality reference; the restricted scan must
+    # stay within a few percent of it while remaining beneficial vs KMB
+    assert by_name["all"][1] <= by_name["neighborhood"][1] + 1e-6
+    assert by_name["neighborhood"][2] <= 0.5  # still no worse than KMB

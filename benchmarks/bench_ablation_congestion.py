@@ -1,0 +1,53 @@
+"""Ablation — congestion-aware edge re-weighting (DESIGN.md §6).
+
+The paper updates edge weights after every routed net.  Disabling that
+(α = 0) makes early nets hog central channels and costs channel width
+and/or routing passes; this bench measures both configurations on the
+same circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.fpga import circuit_spec, scaled_spec, synthesize_circuit, xc4000
+from repro.router import RouterConfig, minimum_channel_width
+from .conftest import circuit_fraction, full_scale, record
+
+
+def test_ablation_congestion(benchmark):
+    spec = circuit_spec("apex7")
+    fraction = 0.5 if full_scale() else circuit_fraction(spec)
+    circuit = synthesize_circuit(scaled_spec(spec, fraction), seed=7)
+
+    def run():
+        rows = []
+        for label, cfg in (
+            ("congestion on (alpha=2)", RouterConfig(algorithm="kmb")),
+            (
+                "congestion off",
+                RouterConfig(algorithm="kmb", congestion=False),
+            ),
+        ):
+            w, res = minimum_channel_width(circuit, xc4000, cfg)
+            rows.append([label, w, res.passes_used,
+                         round(res.total_wirelength, 1)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_congestion",
+        render_table(
+            ["configuration", "min W", "passes", "wirelength"],
+            rows,
+            title="Ablation: congestion re-weighting on/off",
+        ),
+    )
+    on_w, off_w = rows[0][1], rows[1][1]
+    on_effort = rows[0][1] * 100 + rows[0][2]
+    off_effort = rows[1][1] * 100 + rows[1][2]
+    # congestion awareness never hurts the achieved channel width, and
+    # overall effort (width, then passes) should not degrade
+    assert on_w <= off_w
+    assert on_effort <= off_effort

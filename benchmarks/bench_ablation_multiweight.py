@@ -1,0 +1,58 @@
+"""Ablation — multi-weighted objective blending ([4, 7], §2).
+
+The companion framework the paper builds on: edge weights as vectors
+(wirelength, congestion, ...) scalarized with tunable coefficients.
+This bench traces the wirelength/congestion tradeoff curve of KMB under
+a λ sweep and checks its monotone structure — the "mutually competing
+objectives ... simultaneously optimized" behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.graph import MultiWeightGraph, grid_graph, sweep_tradeoff
+from repro.net import Net
+from repro.steiner import kmb
+from .conftest import full_scale, record
+
+
+def test_ablation_multiweight(benchmark):
+    rng = random.Random(23)
+    size = 16 if full_scale() else 10
+    base = grid_graph(size, size)
+    mwg = MultiWeightGraph(objectives=("wirelength", "congestion"))
+    for u, v, w in base.edges():
+        # hot spot in the center: congestion grows toward the middle
+        cx = (u[0] + v[0]) / 2 - size / 2
+        cy = (u[1] + v[1]) / 2 - size / 2
+        hot = max(0.0, 1.0 - (cx * cx + cy * cy) / (size * size / 4))
+        mwg.add_edge(u, v, wirelength=w, congestion=3.0 * hot)
+    pins = rng.sample(list(base.nodes), 5)
+    net = Net(source=pins[0], sinks=tuple(pins[1:]))
+    lambdas = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+    def run():
+        return sweep_tradeoff(
+            mwg, net, kmb, "wirelength", "congestion", lambdas
+        )
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_multiweight",
+        render_table(
+            ["lambda", "wirelength", "congestion"],
+            [[lam, x, y] for lam, x, y in curve],
+            title="Ablation: multi-weighted objective sweep "
+            "(KMB under (1-l)*wire + l*congestion)",
+        ),
+    )
+    wires = [x for _, x, _ in curve]
+    congs = [y for _, _, y in curve]
+    assert all(a <= b + 1e-9 for a, b in zip(wires, wires[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(congs, congs[1:]))
+    # the sweep must actually trade: endpoints differ in congestion
+    assert congs[0] > congs[-1]

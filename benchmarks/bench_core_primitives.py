@@ -1,0 +1,82 @@
+"""Microbenchmarks of the substrate primitives.
+
+Not a paper table — these pytest-benchmark timings track the costs that
+dominate every experiment (Dijkstra, metric closure + MST, KMB, DOM) so
+performance regressions in the substrate are visible independently of
+the end-to-end benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arborescence import dom, pfa
+from repro.graph import (
+    DistanceGraph,
+    ShortestPathCache,
+    dijkstra,
+    grid_graph,
+    prim_mst,
+    random_connected_graph,
+    random_net,
+)
+from repro.steiner import kmb
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_graph(20, 20)
+
+
+@pytest.fixture(scope="module")
+def dense_random():
+    return random_connected_graph(200, 2000, random.Random(5))
+
+
+def test_bench_dijkstra_grid(benchmark, grid):
+    dist, _ = benchmark(dijkstra, grid, (0, 0))
+    assert len(dist) == 400
+
+
+def test_bench_dijkstra_random(benchmark, dense_random):
+    dist, _ = benchmark(dijkstra, dense_random, 0)
+    assert len(dist) == 200
+
+
+def test_bench_prim_mst(benchmark, dense_random):
+    edges, cost = benchmark(prim_mst, dense_random)
+    assert len(edges) == 199
+
+
+def test_bench_metric_closure(benchmark, grid):
+    terminals = [(0, 0), (19, 19), (0, 19), (19, 0), (10, 10)]
+
+    def run():
+        cache = ShortestPathCache(grid)
+        return DistanceGraph(cache, terminals)
+
+    closure = benchmark(run)
+    assert closure.dist((0, 0), (19, 19)) == 38
+
+
+def test_bench_kmb(benchmark, grid):
+    rng = random.Random(1)
+    net = random_net(grid, 6, rng)
+    tree = benchmark(kmb, grid, net)
+    assert tree.cost > 0
+
+
+def test_bench_dom(benchmark, grid):
+    rng = random.Random(2)
+    net = random_net(grid, 6, rng)
+    tree = benchmark(dom, grid, net)
+    assert tree.cost > 0
+
+
+def test_bench_pfa(benchmark, grid):
+    rng = random.Random(3)
+    net = random_net(grid, 6, rng)
+    tree = benchmark(pfa, grid, net)
+    assert tree.cost > 0

@@ -1,0 +1,50 @@
+"""Figure 10 — PFA's Θ(N) worst case on arbitrary weighted graphs.
+
+Builds the trap family (shared cheap trunk vs per-pair MaxDom traps)
+and shows PFA's cost ratio growing linearly with the number of sink
+pairs while IDOM — as the paper notes — "optimally solves these
+particular worst-case examples".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_fig10
+from repro.analysis.tables import render_table
+from repro.arborescence import optimal_arborescence_cost, pfa_trap_family
+from .conftest import full_scale, record
+
+
+def test_fig10_pfa_worst_graph(benchmark):
+    pair_counts = (1, 2, 4, 8, 16, 32) if full_scale() else (1, 2, 4, 8, 16)
+    rows = benchmark.pedantic(
+        run_fig10, args=(pair_counts,), rounds=1, iterations=1
+    )
+    record(
+        "fig10_pfa_worst_graph",
+        render_table(
+            ["pairs", "optimal", "PFA", "IDOM", "PFA/opt", "IDOM/opt"],
+            [
+                [r["pairs"], r["optimal"], r["pfa"], r["idom"],
+                 r["pfa_ratio"], r["idom_ratio"]]
+                for r in rows
+            ],
+            title="Figure 10: PFA trap family (ratio grows ~N/2; "
+            "IDOM stays optimal)",
+        ),
+    )
+    ratios = [r["pfa_ratio"] for r in rows]
+    # strictly growing degradation, linear in N
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 0.4 * rows[-1]["pairs"]
+    # IDOM solves every instance optimally (pairs >= 2)
+    for r in rows:
+        if r["pairs"] >= 2:
+            assert r["idom_ratio"] == pytest.approx(1.0)
+
+    # cross-check the analytic optimum against the exact solver on a
+    # small instance
+    inst = pfa_trap_family(2)
+    exact = optimal_arborescence_cost(inst.graph, inst.net)
+    assert exact == pytest.approx(inst.optimal_cost)

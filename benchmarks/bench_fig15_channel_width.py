@@ -1,0 +1,33 @@
+"""Figure 15 — routing multi-pin nets as units reduces channel width.
+
+The paper's schematic shows a two-track channel collapsing to one track
+when a multi-pin net is Steiner-routed instead of decomposed.  The
+bench measures the same phenomenon end-to-end: minimum channel width of
+the IKMB router vs the two-pin decomposition on a small circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_fig15
+from repro.analysis.tables import render_table
+from .conftest import full_scale, record
+
+
+def test_fig15_channel_width(benchmark):
+    fraction = 0.3 if full_scale() else 0.2
+    result = benchmark.pedantic(
+        run_fig15, kwargs={"fraction": fraction}, rounds=1, iterations=1
+    )
+    record(
+        "fig15_channel_width",
+        render_table(
+            ["circuit", "W (Steiner)", "W (two-pin)", "ratio"],
+            [[result["circuit"], result["steiner_width"],
+              result["two_pin_width"], result["ratio"]]],
+            title="Figure 15: Steiner routing vs decomposition, "
+            "minimum channel width",
+        ),
+    )
+    assert result["steiner_width"] < result["two_pin_width"]

@@ -1,0 +1,51 @@
+"""Figure 16 — rendered routing solution for the busc circuit.
+
+Routes the (synthetic) busc circuit with the IKMB router at its minimum
+channel width, then emits the ASCII channel-occupancy map and an SVG
+rendering under ``benchmarks/output/`` — our equivalent of the paper's
+routed-busc plot.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.fpga import circuit_spec, scaled_spec, synthesize_circuit, xc3000
+from repro.router import RouterConfig, minimum_channel_width
+from repro.viz import occupancy_histogram, render_occupancy, render_svg
+from .conftest import OUTPUT_DIR, circuit_fraction, full_scale, record
+
+
+def test_fig16_render_busc(benchmark):
+    spec = circuit_spec("busc")
+    fraction = 1.0 if full_scale() else circuit_fraction(spec)
+    small = scaled_spec(spec, fraction)
+    circuit = synthesize_circuit(small, seed=3)
+    config = RouterConfig(algorithm="ikmb", steiner_candidate_depth=1)
+
+    def run():
+        return minimum_channel_width(circuit, xc3000, config)
+
+    width, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    arch = xc3000(circuit.rows, circuit.cols, width)
+    ascii_map = render_occupancy(result, arch)
+    hist = occupancy_histogram(result, arch)
+    hist_table = render_table(
+        ["tracks used", "channel spans"],
+        sorted(hist.items()),
+        title="Span-occupancy histogram",
+    )
+    record("fig16_render", ascii_map + "\n\n" + hist_table)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    svg_path = OUTPUT_DIR / "fig16_busc.svg"
+    svg_path.write_text(render_svg(result, arch), encoding="utf-8")
+    print(f"[SVG written to {svg_path}]")
+
+    assert result.complete
+    assert svg_path.stat().st_size > 1000
+    # no channel span may exceed the device's track count
+    assert max(hist) <= width

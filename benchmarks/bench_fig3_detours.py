@@ -1,0 +1,31 @@
+"""Figure 3 — routed nets force detours beyond rectilinear distance.
+
+Before any routing, shortest paths in the routing graph equal
+rectilinear distance (stretch exactly 1.0); after committing nets
+(removing their edges), sampled pairs show strictly larger stretch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_fig3_detours
+from .conftest import full_scale, record
+
+
+def test_fig3_detours(benchmark):
+    kwargs = (
+        {"grid_size": 20, "prerouted": 45, "pairs": 120}
+        if full_scale()
+        else {"grid_size": 16, "prerouted": 25, "pairs": 40}
+    )
+    before, after = benchmark.pedantic(
+        run_fig3_detours, kwargs=kwargs, rounds=1, iterations=1
+    )
+    record("fig3_detours", before.render() + "\n\n" + after.render())
+    # Figure 3(a): pristine grid distances are exactly rectilinear
+    assert before.mean_stretch == pytest.approx(1.0)
+    assert before.max_stretch == pytest.approx(1.0)
+    # Figure 3(b): after committing nets, detours appear
+    assert after.mean_stretch > 1.0
+    assert after.max_stretch > 1.05

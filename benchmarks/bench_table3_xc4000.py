@@ -1,0 +1,46 @@
+"""Table 3 — minimum channel width, Xilinx 4000-series circuits.
+
+The nine XC4000 circuits (alu4 … alu2) routed by our IKMB router and
+the two-pin decomposition baseline (executable stand-in for SEGA/GBP),
+printed next to the published SEGA/GBP/paper widths.
+
+Expected shape: as in Table 2 — the multi-pin Steiner router needs the
+smallest width on every circuit (the paper reports SEGA and GBP needing
+26% / 17% more width on average).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_width_table
+from repro.fpga import XC4000_CIRCUITS, xc4000
+from repro.router import RouterConfig
+from .conftest import circuit_fraction, full_scale, record
+
+
+def test_table3_xc4000(benchmark):
+    specs = XC4000_CIRCUITS
+    fraction = min(circuit_fraction(s) for s in specs)
+    config = RouterConfig(
+        steiner_candidate_depth=1 if not full_scale() else 2,
+        max_steiner_nodes=4 if not full_scale() else 8,
+    )
+    result = benchmark.pedantic(
+        run_width_table,
+        kwargs={
+            "specs": specs,
+            "family_builder": xc4000,
+            "algorithms": ("ikmb", "two_pin"),
+            "fraction": fraction,
+            "seed": 5,
+            "config": config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record("table3_xc4000", result.render(baseline="ikmb"))
+    totals = result.totals()
+    for row in result.rows:
+        assert row.widths["ikmb"] <= row.widths["two_pin"]
+    assert totals["two_pin"] >= 1.15 * totals["ikmb"]

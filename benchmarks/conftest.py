@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (DESIGN.md §3)
+and follows the same conventions:
+
+* deterministic seeds;
+* laptop-friendly default scale, full published scale with
+  ``REPRO_FULL=1`` in the environment;
+* results printed to stdout *and* written under ``benchmarks/output/``
+  so EXPERIMENTS.md can reference the exact artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def full_scale() -> bool:
+    """True when the suite should run at published scale."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def circuit_fraction(spec, target_nets: int = 26) -> float:
+    """Scale factor capping a circuit near ``target_nets`` nets.
+
+    At full scale the published size (fraction 1.0) is used.
+    """
+    if full_scale():
+        return 1.0
+    return min(0.2, max(0.04, target_nets / spec.num_nets))
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture
+def out():
+    """The ``record`` helper as a fixture."""
+    return record

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Watch the iterated constructions work (Figures 5, 6, 12, 13).
+
+Runs IKMB and IDOM with trace recording on small instances and prints
+each greedy round: the Steiner candidate accepted, the savings it
+produced, and the cost of the evolving solution — the exact narrative
+of the paper's Figures 6 and 13.
+
+Run:  python examples/iterated_steiner_trace.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Net, grid_graph, ikmb, idom, kmb, dom
+from repro.analysis import run_trace_demo
+from repro.analysis.tables import render_table
+
+
+def print_trace(title: str, traced, base_name: str, base_cost: float):
+    trace = traced.trace
+    rows = [[0, f"(initial {base_name} solution)", None, trace.initial_cost]]
+    for i, (node, gain, cost) in enumerate(trace.steps, start=1):
+        rows.append([i, repr(node), round(gain, 3), round(cost, 3)])
+    print(
+        render_table(
+            ["round", "accepted Steiner point", "savings", "cost"],
+            rows,
+            title=title,
+        )
+    )
+    saved = 100 * trace.total_savings / trace.initial_cost
+    print(f"  -> total improvement over {base_name}: {saved:.1f}%\n")
+
+
+def main() -> None:
+    traced_ikmb, traced_idom = run_trace_demo()
+    print_trace(
+        "IKMB on the double-cross gadget (Figure 6 dynamic)",
+        traced_ikmb,
+        "KMB",
+        traced_ikmb.trace.initial_cost,
+    )
+    print_trace(
+        "IDOM on the double-hub gadget (Figure 13 dynamic)",
+        traced_idom,
+        "DOM",
+        traced_idom.trace.initial_cost,
+    )
+
+    # and on a realistic congested grid: how often does iteration help?
+    rng = random.Random(3)
+    g = grid_graph(15, 15)
+    for u, v, _ in list(g.edges()):
+        g.set_weight(u, v, 1.0 + rng.random())
+    improved = 0
+    total_gain = 0.0
+    trials = 20
+    for _ in range(trials):
+        pins = rng.sample(list(g.nodes), 6)
+        net = Net(source=pins[0], sinks=tuple(pins[1:]))
+        base = kmb(g, net).cost
+        it = ikmb(g, net).cost
+        if it < base - 1e-9:
+            improved += 1
+            total_gain += (base - it) / base * 100
+    print(
+        f"On {trials} random 6-pin nets over a perturbed 15x15 grid, "
+        f"IKMB improved\n{improved} instances "
+        f"(mean gain {total_gain / max(improved, 1):.1f}% where it fired) "
+        f"— iteration is a\nstrict-improvement wrapper, exactly as §3 claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: route one net five different ways.
+
+Builds a congested grid routing graph (the paper's Table 1 workload),
+routes a 5-pin net with each family of algorithms, and prints the
+wirelength / max-pathlength tradeoff each one strikes:
+
+* KMB / IKMB — minimum wirelength (non-critical nets, §3);
+* DJKA / PFA / IDOM — optimal source–sink pathlengths (critical nets,
+  §4), with PFA/IDOM also keeping wirelength near the Steiner optimum.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    Net,
+    ShortestPathCache,
+    dijkstra,
+    djka,
+    grid_graph,
+    idom,
+    ikmb,
+    kmb,
+    pfa,
+)
+from repro.analysis import congested_grid
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    rng = random.Random(7)
+    graph, mean_weight = congested_grid(20, 10, rng)
+    print(
+        f"Routing graph: 20x20 grid, 10 pre-routed nets, "
+        f"mean edge weight {mean_weight:.2f}\n"
+    )
+
+    pins = rng.sample(list(graph.nodes), 5)
+    net = Net(source=pins[0], sinks=tuple(pins[1:]), name="demo")
+    print(f"Net: source={net.source}, sinks={list(net.sinks)}\n")
+
+    cache = ShortestPathCache(graph)
+    dist, _ = dijkstra(graph, net.source)
+    optimal_max_path = max(dist[s] for s in net.sinks)
+
+    rows = []
+    for fn in (kmb, ikmb, djka, pfa, idom):
+        tree = fn(graph, net, cache)
+        rows.append(
+            [
+                tree.algorithm,
+                round(tree.cost, 2),
+                round(tree.max_pathlength, 2),
+                "yes" if tree.is_arborescence(graph, cache) else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["algorithm", "wirelength", "max pathlength",
+             "shortest-paths tree?"],
+            rows,
+            title=f"Five routings (optimal max pathlength = "
+            f"{optimal_max_path:.2f})",
+        )
+    )
+    print(
+        "\nNote the paper's headline observation: PFA/IDOM achieve the "
+        "optimal\nmax pathlength while spending wirelength comparable "
+        "to the best\nSteiner heuristics."
+    )
+
+
+if __name__ == "__main__":
+    main()

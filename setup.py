@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — reproduction of Alexander & Robins (DAC 1995),
+"New Performance-Driven FPGA Routing Algorithms".
+
+The library provides, as importable building blocks:
+
+* a weighted-graph substrate (:mod:`repro.graph`),
+* graph Steiner tree heuristics for non-critical nets
+  (:mod:`repro.steiner`): KMB, Zelikovsky, and the paper's iterated
+  IGMST template (IKMB / IZEL),
+* graph Steiner arborescence heuristics for critical nets
+  (:mod:`repro.arborescence`): DJKA, DOM, PFA and IDOM,
+* a symmetrical-array FPGA architecture model and routing-resource
+  graph (:mod:`repro.fpga`) for Xilinx 3000/4000-series style parts,
+* a complete congestion-aware detailed router with move-to-front net
+  re-ordering and minimum-channel-width search (:mod:`repro.router`),
+* experiment drivers regenerating every table and figure of the paper
+  (:mod:`repro.analysis`), and
+* text/SVG visualization of routed FPGAs (:mod:`repro.viz`).
+
+Quickstart
+----------
+>>> import random
+>>> from repro import grid_graph, random_net, ikmb, idom
+>>> g = grid_graph(20, 20)
+>>> net = random_net(g, 5, random.Random(1))
+>>> steiner = ikmb(g, net)     # minimum-wirelength routing
+>>> critical = idom(g, net)    # shortest-paths routing
+>>> critical.max_pathlength <= steiner.max_pathlength or True
+True
+"""
+
+from .arborescence import (
+    DominanceOracle,
+    dom,
+    djka,
+    idom,
+    optimal_arborescence_tree,
+    pfa,
+)
+from .errors import (
+    ArchitectureError,
+    DisconnectedError,
+    GraphError,
+    NetError,
+    ReproError,
+    RoutingError,
+    UnroutableError,
+)
+from .graph import (
+    Graph,
+    ShortestPathCache,
+    dijkstra,
+    grid_graph,
+    random_connected_graph,
+    random_net,
+    shortest_path,
+)
+from .net import Net
+from .steiner import (
+    RoutingTree,
+    igmst,
+    ikmb,
+    izel,
+    kmb,
+    optimal_steiner_tree,
+    zel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "DisconnectedError",
+    "NetError",
+    "ArchitectureError",
+    "RoutingError",
+    "UnroutableError",
+    # substrate
+    "Graph",
+    "ShortestPathCache",
+    "dijkstra",
+    "shortest_path",
+    "grid_graph",
+    "random_connected_graph",
+    "random_net",
+    "Net",
+    # steiner
+    "RoutingTree",
+    "kmb",
+    "zel",
+    "igmst",
+    "ikmb",
+    "izel",
+    "optimal_steiner_tree",
+    # arborescence
+    "DominanceOracle",
+    "djka",
+    "dom",
+    "pfa",
+    "idom",
+    "optimal_arborescence_tree",
+]

@@ -1,0 +1,812 @@
+"""Experiment drivers — one per table/figure of the paper (DESIGN.md §3).
+
+Every driver is deterministic given its seed, returns structured data,
+and provides a ``render()``-style text form used by the benchmark
+harness to print rows directly comparable with the published tables.
+Scale knobs (trial counts, circuit fractions) default to laptop-friendly
+values; the benches pass larger values when ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arborescence import (
+    djka,
+    dom,
+    idom,
+    optimal_arborescence_cost,
+    pfa,
+)
+from ..arborescence.worst_cases import (
+    greedy_set_cover,
+    pfa_trap_family,
+    setcover_family,
+    staircase_instance,
+)
+from ..errors import ReproError, RoutingError, UnroutableError
+from ..fpga.architecture import Architecture, xc3000, xc4000
+from ..fpga.benchmarks import (
+    CircuitSpec,
+    TABLE1_PUBLISHED,
+    TABLE5_PUBLISHED,
+)
+from ..fpga.netlist import PlacedCircuit
+from ..fpga.synthetic import scaled_spec, synthesize_circuit
+from ..graph.core import Graph
+from ..graph.generators import grid_graph, random_connected_graph, random_net
+from ..graph.shortest_paths import ShortestPathCache, dijkstra
+from ..net import Net
+from ..router.channel_width import minimum_channel_width
+from ..router.config import RouterConfig
+from ..router.result import RoutingResult
+from ..router.router import FPGARouter
+from ..steiner import (
+    ikmb,
+    izel,
+    kmb,
+    kmb_tree_graph,
+    optimal_steiner_cost,
+    zel,
+)
+from .metrics import AlgorithmSample, percent_vs
+from .tables import render_table
+
+#: Table 1's eight algorithms, in the paper's row order.
+TABLE1_ALGORITHMS: Tuple[str, ...] = (
+    "KMB", "ZEL", "IKMB", "IZEL", "DJKA", "DOM", "PFA", "IDOM",
+)
+
+_ALGO_FUNCS = {
+    "KMB": kmb,
+    "ZEL": zel,
+    "IKMB": ikmb,
+    "IZEL": izel,
+    "DJKA": djka,
+    "DOM": dom,
+    "PFA": pfa,
+    "IDOM": idom,
+}
+
+#: Table 1 congestion levels: name -> number of KMB-pre-routed nets.
+CONGESTION_LEVELS: Dict[str, int] = {"none": 0, "low": 10, "medium": 20}
+
+
+# ======================================================================
+# Table 1 — grid-graph comparison of the eight tree algorithms
+# ======================================================================
+def congested_grid(
+    size: int, prerouted: int, rng: random.Random
+) -> Tuple[Graph, float]:
+    """A ``size × size`` grid congested exactly as §5 describes.
+
+    Starting from unit weights, ``prerouted`` uniformly-distributed
+    2–5-pin nets are routed with KMB and each edge of every routed tree
+    has its weight incremented by 1.  Returns the graph and its mean
+    edge weight (the paper reports w̄ = 1.00 / 1.28 / 1.55 for
+    k = 0 / 10 / 20).
+    """
+    g = grid_graph(size, size)
+    for _ in range(prerouted):
+        net = random_net(g, rng.randint(2, 5), rng)
+        tree = kmb_tree_graph(g, net.terminals)
+        for u, v, _ in tree.edges():
+            g.set_weight(u, v, g.weight(u, v) + 1.0)
+    mean = g.total_weight() / g.num_edges
+    return g, mean
+
+
+@dataclass
+class Table1Result:
+    """Per (congestion level, net size, algorithm) normalized averages."""
+
+    trials: int
+    grid_size: int
+    mean_edge_weight: Dict[str, float] = field(default_factory=dict)
+    #: (level, net_size, algo) -> (wirelength % vs KMB, max-path % vs OPT)
+    cells: Dict[Tuple[str, int, str], Tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def render(self, published: bool = True) -> str:
+        blocks = []
+        sizes = sorted({k[1] for k in self.cells})
+        for level in CONGESTION_LEVELS:
+            rows = []
+            for algo in TABLE1_ALGORITHMS:
+                row: List = [algo]
+                for size in sizes:
+                    cell = self.cells.get((level, size, algo))
+                    if cell is None:
+                        row += [None, None]
+                        continue
+                    row += [cell[0], cell[1]]
+                    if published:
+                        pub = TABLE1_PUBLISHED[level][size][algo]
+                        row += [pub[0], pub[1]]
+                rows.append(row)
+            headers = ["algorithm"]
+            for size in sizes:
+                headers += [f"{size}p wire%", f"{size}p path%"]
+                if published:
+                    headers += [f"{size}p wire% (paper)",
+                                f"{size}p path% (paper)"]
+            blocks.append(
+                render_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Table 1 [{level} congestion, "
+                        f"w̄={self.mean_edge_weight.get(level, 0):.2f}, "
+                        f"{self.trials} nets]"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def ranking_ok(self) -> bool:
+        """Check the paper's two qualitative rankings on our data.
+
+        Wirelength: IZEL ≤ IKMB ≤ ZEL ≤ KMB and IDOM ≤ PFA ≤ DOM ≤ DJKA
+        (aggregated over all cells, small tolerance for sampling noise).
+        """
+        def total(algo):
+            return sum(
+                self.cells[k][0] for k in self.cells if k[2] == algo
+            )
+
+        tol = 1e-9
+        steiner = [total(a) for a in ("IZEL", "IKMB", "ZEL", "KMB")]
+        arbo = [total(a) for a in ("IDOM", "PFA", "DOM", "DJKA")]
+        return all(
+            a <= b + tol for a, b in zip(steiner, steiner[1:])
+        ) and all(a <= b + tol for a, b in zip(arbo, arbo[1:]))
+
+
+def run_table1(
+    trials: int = 12,
+    grid_size: int = 20,
+    net_sizes: Sequence[int] = (5, 8),
+    algorithms: Sequence[str] = TABLE1_ALGORITHMS,
+    levels: Optional[Dict[str, int]] = None,
+    seed: int = 1995,
+) -> Table1Result:
+    """Reproduce Table 1: the eight algorithms on congested grids.
+
+    For each congestion level and net size, ``trials`` random nets are
+    routed on freshly congested graphs; wirelength is normalized to KMB
+    and maximum pathlength to the graph optimum.
+    """
+    levels = levels if levels is not None else dict(CONGESTION_LEVELS)
+    result = Table1Result(trials=trials, grid_size=grid_size)
+    for level, prerouted in levels.items():
+        rng = random.Random((seed << 8) ^ prerouted)
+        weight_sum = 0.0
+        samples: Dict[Tuple[int, str], AlgorithmSample] = {
+            (size, algo): AlgorithmSample()
+            for size in net_sizes
+            for algo in algorithms
+        }
+        for size in net_sizes:
+            for _ in range(trials):
+                graph, mean_w = congested_grid(grid_size, prerouted, rng)
+                weight_sum += mean_w
+                net = random_net(graph, size, rng)
+                cache = ShortestPathCache(graph)
+                dist, _ = dijkstra(graph, net.source)
+                opt_path = max(dist[s] for s in net.sinks)
+                kmb_wl = kmb(graph, net, cache).cost
+                for algo in algorithms:
+                    tree = _ALGO_FUNCS[algo](graph, net, cache)
+                    samples[(size, algo)].add(
+                        percent_vs(tree.cost, kmb_wl),
+                        percent_vs(tree.max_pathlength, opt_path),
+                    )
+        result.mean_edge_weight[level] = weight_sum / (
+            trials * len(net_sizes)
+        )
+        for (size, algo), sample in samples.items():
+            result.cells[(level, size, algo)] = (
+                sample.wirelength_pct.mean,
+                sample.max_path_pct.mean,
+            )
+    return result
+
+
+# ======================================================================
+# Tables 2/3/4 — minimum channel width on benchmark circuits
+# ======================================================================
+@dataclass
+class WidthRow:
+    circuit: str
+    widths: Dict[str, int]
+    published: Dict[str, int]
+
+
+@dataclass
+class WidthTableResult:
+    """Measured minimum channel widths per circuit and algorithm."""
+
+    family: str
+    rows: List[WidthRow] = field(default_factory=list)
+
+    def totals(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            for algo, w in row.widths.items():
+                out[algo] = out.get(algo, 0) + w
+        return out
+
+    def render(self, baseline: str = "ikmb") -> str:
+        algos = list(self.rows[0].widths) if self.rows else []
+        pub_names = sorted(
+            {k for row in self.rows for k in row.published}
+        )
+        headers = ["circuit"] + [f"W({a})" for a in algos] + [
+            f"paper:{p}" for p in pub_names
+        ]
+        rows = []
+        for row in self.rows:
+            rows.append(
+                [row.circuit]
+                + [row.widths.get(a) for a in algos]
+                + [row.published.get(p) for p in pub_names]
+            )
+        totals = self.totals()
+        rows.append(
+            ["TOTAL"]
+            + [totals.get(a) for a in algos]
+            + [
+                sum(r.published.get(p, 0) for r in self.rows)
+                for p in pub_names
+            ]
+        )
+        if baseline in totals and totals[baseline]:
+            rows.append(
+                ["ratio"]
+                + [
+                    round(totals[a] / totals[baseline], 2)
+                    for a in algos
+                ]
+                + [None] * len(pub_names)
+            )
+        return render_table(
+            headers, rows, title=f"Minimum channel width ({self.family})"
+        )
+
+
+def run_width_table(
+    specs: Sequence[CircuitSpec],
+    family_builder: Callable[[int, int, int], Architecture],
+    algorithms: Sequence[str] = ("ikmb", "two_pin"),
+    fraction: float = 0.25,
+    seed: int = 3,
+    config: Optional[RouterConfig] = None,
+    w_max: int = 40,
+) -> WidthTableResult:
+    """Tables 2/3/4 driver: per-circuit minimum channel widths.
+
+    ``fraction < 1`` routes the scaled-down synthetic circuits (default
+    bench mode); ``fraction = 1`` the full published sizes.  The
+    ``two_pin`` algorithm is the in-repo executable stand-in for
+    CGE/SEGA/GBP (DESIGN.md §4).
+    """
+    base = config or RouterConfig()
+    result = WidthTableResult(family=family_builder.__name__)
+    for spec in specs:
+        small = scaled_spec(spec, fraction)
+        circuit = synthesize_circuit(small, seed=seed)
+        widths: Dict[str, int] = {}
+        for algo in algorithms:
+            cfg = base.with_algorithm(algo)
+            w, _ = minimum_channel_width(
+                circuit, family_builder, cfg, w_max=w_max
+            )
+            widths[algo] = w
+        result.rows.append(
+            WidthRow(
+                circuit=small.name,
+                widths=widths,
+                published=dict(spec.published),
+            )
+        )
+    return result
+
+
+# ======================================================================
+# Table 5 — wirelength/pathlength tradeoffs at equal channel width
+# ======================================================================
+@dataclass
+class Table5Row:
+    circuit: str
+    width: int
+    wire_pct: Dict[str, float]
+    path_pct: Dict[str, float]
+
+
+@dataclass
+class Table5Result:
+    rows: List[Table5Row] = field(default_factory=list)
+
+    def averages(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        algos = list(self.rows[0].wire_pct) if self.rows else []
+        wire = {
+            a: sum(r.wire_pct[a] for r in self.rows) / len(self.rows)
+            for a in algos
+        }
+        path = {
+            a: sum(r.path_pct[a] for r in self.rows) / len(self.rows)
+            for a in algos
+        }
+        return wire, path
+
+    def render(self) -> str:
+        algos = list(self.rows[0].wire_pct) if self.rows else []
+        headers = (
+            ["circuit", "W"]
+            + [f"wire% {a}" for a in algos]
+            + [f"path% {a}" for a in algos]
+        )
+        rows = []
+        for r in self.rows:
+            rows.append(
+                [r.circuit, r.width]
+                + [r.wire_pct[a] for a in algos]
+                + [r.path_pct[a] for a in algos]
+            )
+        wire, path = self.averages()
+        rows.append(
+            ["AVERAGE", None]
+            + [wire[a] for a in algos]
+            + [path[a] for a in algos]
+        )
+        return render_table(
+            headers,
+            rows,
+            title="Table 5: PFA/IDOM vs IKMB at equal channel width "
+            "(wire: + is more wirelength; path: - is shorter max path)",
+        )
+
+
+def run_table5(
+    specs: Sequence[CircuitSpec],
+    family_builder: Callable[[int, int, int], Architecture] = xc4000,
+    algorithms: Sequence[str] = ("pfa", "idom"),
+    fraction: float = 0.25,
+    seed: int = 3,
+    config: Optional[RouterConfig] = None,
+    w_max: int = 40,
+    headroom: int = 0,
+) -> Table5Result:
+    """Table 5 driver.
+
+    For each circuit, find the smallest width at which IKMB *and* all
+    compared algorithms route successfully, then re-route everything at
+    that common width and report each algorithm's total-wirelength
+    increase and mean per-net max-pathlength change versus IKMB.
+
+    ``headroom`` adds tracks above the common minimum.  The published
+    circuits run at W ≈ 9–17 where the common width leaves the
+    arborescence algorithms relative slack; scaled-down devices sit at
+    W ≈ 3–5, where routing *at* the bare minimum drowns the pathlength
+    signal in congestion-forced detours — a small headroom restores
+    the comparison the paper's Table 5 makes (see EXPERIMENTS.md).
+    """
+    base = config or RouterConfig()
+    result = Table5Result()
+    for spec in specs:
+        small = scaled_spec(spec, fraction)
+        circuit = synthesize_circuit(small, seed=seed)
+        all_algos = ["ikmb"] + [a for a in algorithms if a != "ikmb"]
+        width = 0
+        for algo in all_algos:
+            w, _ = minimum_channel_width(
+                circuit, family_builder, base.with_algorithm(algo),
+                w_max=w_max,
+            )
+            width = max(width, w)
+        width += headroom
+        arch = family_builder(circuit.rows, circuit.cols, width)
+        results: Dict[str, RoutingResult] = {}
+        for algo in all_algos:
+            results[algo] = FPGARouter(
+                arch, base.with_algorithm(algo)
+            ).route(circuit)
+        pristine = _pristine_max_paths(circuit, arch)
+        ref = results["ikmb"]
+
+        def mean_stretch(res: RoutingResult) -> float:
+            # per-net max pathlength normalized by the *pristine-graph*
+            # optimum, so the comparison between algorithms is not
+            # confounded by each run's own congestion state
+            vals = [
+                r.max_pathlength / pristine[r.name] for r in res.routes
+            ]
+            return sum(vals) / len(vals)
+
+        ref_stretch = mean_stretch(ref)
+        wire_pct: Dict[str, float] = {}
+        path_pct: Dict[str, float] = {}
+        for algo in algorithms:
+            res = results[algo]
+            wire_pct[algo] = percent_vs(
+                res.total_wirelength, ref.total_wirelength
+            )
+            path_pct[algo] = percent_vs(mean_stretch(res), ref_stretch)
+        result.rows.append(
+            Table5Row(
+                circuit=small.name,
+                width=width,
+                wire_pct=wire_pct,
+                path_pct=path_pct,
+            )
+        )
+    return result
+
+
+def _pristine_max_paths(
+    circuit: PlacedCircuit, arch: Architecture
+) -> Dict[str, float]:
+    """Per-net optimal max source→sink pathlength on the empty device.
+
+    The uncongested lower bound every routed tree's max pathlength is
+    compared against in Table 5 (see :func:`run_table5`).
+    """
+    from ..fpga.routing_graph import RoutingResourceGraph
+
+    rrg = RoutingResourceGraph(arch)
+    rrg.detach_all_pins()
+    out: Dict[str, float] = {}
+    for placed in circuit.nets:
+        net = placed.to_graph_net()
+        rrg.attach_pins(net.terminals)
+        dist, _ = dijkstra(
+            rrg.graph, net.source, targets=list(net.sinks)
+        )
+        out[placed.name] = max(dist[s] for s in net.sinks)
+        rrg.detach_pins(net.terminals)
+    return out
+
+
+# ======================================================================
+# Figure 3 — congestion-induced detours
+# ======================================================================
+@dataclass
+class DetourStats:
+    pairs: int
+    prerouted: int
+    mean_stretch: float
+    max_stretch: float
+
+    def render(self) -> str:
+        return render_table(
+            ["metric", "value"],
+            [
+                ["sampled pairs", self.pairs],
+                ["pre-routed nets", self.prerouted],
+                ["mean distance / rectilinear", round(self.mean_stretch, 3)],
+                ["max distance / rectilinear", round(self.max_stretch, 3)],
+            ],
+            title="Figure 3: routed nets force detours beyond "
+            "rectilinear distance",
+        )
+
+
+def run_fig3_detours(
+    grid_size: int = 16,
+    prerouted: int = 25,
+    pairs: int = 40,
+    seed: int = 42,
+) -> Tuple[DetourStats, DetourStats]:
+    """Reproduce Figure 3's point quantitatively.
+
+    Routes ``prerouted`` nets on a grid, *removing* the edges each tree
+    used (resource commitment), then samples node pairs and compares
+    their shortest-path distance before and after with the rectilinear
+    metric.  Returns (before, after) stats: before must be exactly
+    rectilinear (stretch 1.0), after strictly worse.
+    """
+    rng = random.Random(seed)
+    g = grid_graph(grid_size, grid_size)
+
+    def sample(stats_prerouted: int) -> DetourStats:
+        total = 0.0
+        worst = 0.0
+        count = 0
+        for _ in range(pairs):
+            a, b = rng.sample(list(g.nodes), 2)
+            manhattan = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            if manhattan == 0:
+                continue
+            dist, _ = dijkstra(g, a, targets=[b])
+            if b not in dist:
+                continue
+            stretch = dist[b] / manhattan
+            total += stretch
+            worst = max(worst, stretch)
+            count += 1
+        return DetourStats(
+            pairs=count,
+            prerouted=stats_prerouted,
+            mean_stretch=total / count,
+            max_stretch=worst,
+        )
+
+    before = sample(0)
+    routed = 0
+    for _ in range(prerouted):
+        candidates = [n for n in g.nodes]
+        pins = rng.sample(candidates, rng.randint(2, 4))
+        net = Net.from_terminals(pins)
+        if not g.is_connected(within=pins):
+            continue
+        try:
+            tree = kmb_tree_graph(g, net.terminals)
+        except Exception:
+            continue
+        for u, v, _ in tree.edges():
+            g.remove_edge(u, v)
+        routed += 1
+    after = sample(routed)
+    return before, after
+
+
+# ======================================================================
+# Figure 4 — the four-pin showcase instance
+# ======================================================================
+@dataclass
+class Fig4Result:
+    net: Net
+    rows: List[Tuple[str, float, float]]
+    opt_wirelength: float
+    opt_max_path: float
+
+    def render(self) -> str:
+        table_rows = [
+            [name, wl, mp] for name, wl, mp in self.rows
+        ] + [
+            ["OPT (Steiner)", self.opt_wirelength, None],
+            ["OPT (arborescence max path)", None, self.opt_max_path],
+        ]
+        return render_table(
+            ["algorithm", "wirelength", "max pathlength"],
+            table_rows,
+            title="Figure 4: one 4-pin net, four routing solutions",
+        )
+
+
+def run_fig4(
+    grid_size: int = 6, max_seeds: int = 4000, seed: int = 0
+) -> Fig4Result:
+    """Find and evaluate a Figure-4-style instance.
+
+    Searches (deterministically) for a 4-pin net on a unit grid where
+    KMB is strictly suboptimal in wirelength while IKMB matches the
+    exact Steiner optimum and IDOM matches the exact arborescence
+    optimum — the situation Figure 4 illustrates.  Returns the instance
+    with all four algorithms' wirelength / max-pathlength numbers.
+    """
+    g = grid_graph(grid_size, grid_size)
+    cache = ShortestPathCache(g)
+    rng = random.Random(seed)
+    nodes = list(g.nodes)
+    for _ in range(max_seeds):
+        pins = rng.sample(nodes, 4)
+        net = Net(source=pins[0], sinks=tuple(pins[1:]))
+        kmb_t = kmb(g, net, cache)
+        opt_wl = optimal_steiner_cost(g, net.terminals)
+        if kmb_t.cost <= opt_wl + 1e-9:
+            continue
+        ikmb_t = ikmb(g, net, cache=cache)
+        if abs(ikmb_t.cost - opt_wl) > 1e-9:
+            continue
+        idom_t = idom(g, net, cache=cache)
+        opt_gsa = optimal_arborescence_cost(g, net)
+        if abs(idom_t.cost - opt_gsa) > 1e-9:
+            continue
+        djka_t = djka(g, net, cache)
+        dist, _ = dijkstra(g, net.source)
+        opt_mp = max(dist[s] for s in net.sinks)
+        if kmb_t.max_pathlength <= opt_mp + 1e-9:
+            continue  # we want a visible pathlength win too
+        rows = [
+            ("KMB", kmb_t.cost, kmb_t.max_pathlength),
+            ("IKMB (=IGMST)", ikmb_t.cost, ikmb_t.max_pathlength),
+            ("DJKA", djka_t.cost, djka_t.max_pathlength),
+            ("IDOM", idom_t.cost, idom_t.max_pathlength),
+        ]
+        return Fig4Result(
+            net=net, rows=rows, opt_wirelength=opt_wl, opt_max_path=opt_mp
+        )
+    raise ReproError("no Figure-4 instance found within the search budget")
+
+
+# ======================================================================
+# Figures 6/13 — iterated-construction execution traces
+# ======================================================================
+def _double_cross_gadget() -> Tuple[Graph, Net]:
+    """Two hub gadgets whose hubs are each a profitable Steiner point.
+
+    In each cluster the three terminals are pairwise 3.0 apart directly
+    but 1.6 + 1.6 = 3.2 through the hub, so no pairwise shortest path
+    visits the hub — KMB cannot see it, while adding it saves
+    6.0 → 4.8 per cluster.  IKMB therefore accepts exactly the two hub
+    nodes, one per greedy round (the Figure 6 dynamic).
+    """
+    g = Graph()
+    terminals: List = []
+    for c in (1, 2):
+        hub = f"h{c}"
+        names = [f"{l}{c}" for l in ("A", "B", "C")]
+        for n in names:
+            g.add_edge(hub, n, 1.6)
+        g.add_edge(names[0], names[1], 3.0)
+        g.add_edge(names[1], names[2], 3.0)
+        g.add_edge(names[0], names[2], 3.0)
+        terminals.extend(names)
+    g.add_edge("C1", "A2", 1.0)  # bridge the clusters into one net
+    return g, Net(source=terminals[0], sinks=tuple(terminals[1:]))
+
+
+def _double_hub_arborescence_gadget() -> Tuple[Graph, Net]:
+    """Two trap-family clusters on one source: IDOM accepts both hubs.
+
+    Built from two copies of the Figure 10 construction sharing the
+    source; DOM initially pays the per-pair traps, and IDOM's greedy
+    loop accepts each cluster's shared hub in its own round (the
+    Figure 13 dynamic).
+    """
+    g = Graph()
+    source = "n0"
+    sinks: List = []
+    eps = 0.05
+    for c in (1, 2):
+        hub = f"g{c}"
+        g.add_edge(source, hub, 1.0)
+        for j in range(2):
+            trap = f"m{c}{j}"
+            g.add_edge(source, trap, 1.0 + eps)
+            for s in range(2):
+                t = f"t{c}{j}{s}"
+                sinks.append(t)
+                g.add_edge(trap, t, eps)
+                g.add_edge(hub, t, 2 * eps)
+    return g, Net(source=source, sinks=tuple(sinks))
+
+
+def run_trace_demo():
+    """Figure 6 / Figure 13: the iterated constructions' greedy traces.
+
+    Returns traced IKMB and IDOM results on deterministic gadgets where
+    each accepts exactly two Steiner points, reproducing the papers'
+    cost-reduction narratives (e.g. 7 → 6 → 5).
+    """
+    g1, net1 = _double_cross_gadget()
+    traced_ikmb = ikmb(g1, net1, record_trace=True)
+    if len(traced_ikmb.trace.steps) < 2:
+        raise ReproError("IKMB trace gadget regression")
+    g2, net2 = _double_hub_arborescence_gadget()
+    traced_idom = idom(g2, net2, record_trace=True)
+    if len(traced_idom.trace.steps) < 2:
+        raise ReproError("IDOM trace gadget regression")
+    return traced_ikmb, traced_idom
+
+
+# ======================================================================
+# Figures 10 / 11 / 14 — worst-case families
+# ======================================================================
+def run_fig10(pair_counts: Sequence[int] = (1, 2, 4, 8, 16)):
+    """PFA's Θ(N) family: measured PFA vs IDOM vs analytic optimum."""
+    rows = []
+    for pairs in pair_counts:
+        inst = pfa_trap_family(pairs)
+        pfa_cost = pfa(inst.graph, inst.net).cost
+        idom_cost = idom(inst.graph, inst.net).cost
+        rows.append(
+            {
+                "pairs": pairs,
+                "optimal": inst.optimal_cost,
+                "pfa": pfa_cost,
+                "idom": idom_cost,
+                "pfa_ratio": pfa_cost / inst.optimal_cost,
+                "idom_ratio": idom_cost / inst.optimal_cost,
+            }
+        )
+    return rows
+
+
+def run_fig11(sink_counts: Sequence[int] = (2, 3, 4, 5, 6)):
+    """PFA on the Figure 11 staircase; exact optimum where tractable."""
+    rows = []
+    for k in sink_counts:
+        inst = staircase_instance(k)
+        pfa_cost = pfa(inst.graph, inst.net).cost
+        if k <= 6:
+            opt = optimal_arborescence_cost(inst.graph, inst.net)
+        else:
+            opt = inst.optimal_upper_bound
+        rows.append(
+            {
+                "sinks": k,
+                "optimal": opt,
+                "pfa": pfa_cost,
+                "ratio": pfa_cost / opt,
+            }
+        )
+    return rows
+
+
+def run_fig14(levels: Sequence[int] = (1, 2, 3, 4, 5)):
+    """The Set-Cover family: abstract greedy cost vs optimal cover.
+
+    Also runs our substrate-level IDOM on the expanded macro graph —
+    which (as documented in EXPERIMENTS.md) escapes the lower bound by
+    sharing paths through unselected macros, so its ratio stays near 1.
+    """
+    rows = []
+    for lv in levels:
+        inst = setcover_family(lv)
+        universe = set().union(*inst.boxes.values())
+        chosen = greedy_set_cover(universe, inst.boxes)
+        idom_cost = idom(inst.graph, inst.net).cost
+        rows.append(
+            {
+                "levels": lv,
+                "sinks": len(inst.net.sinks),
+                "greedy_sets": len(chosen),
+                "optimal_sets": 2,
+                "greedy_ratio": len(chosen) / 2.0,
+                "idom_graph_cost": idom_cost,
+            }
+        )
+    return rows
+
+
+# ======================================================================
+# Figure 15 — Steiner routing reduces channel width
+# ======================================================================
+def run_fig15(seed: int = 11, fraction: float = 0.2):
+    """Steiner (IKMB) vs decomposed (two-pin) channel width.
+
+    The Figure 15 phenomenon — routing a multi-pin net as one unit
+    needs a narrower channel than decomposing it — measured on a small
+    synthetic circuit.
+    """
+    from ..fpga.benchmarks import circuit_spec
+
+    spec = scaled_spec(circuit_spec("apex7"), fraction)
+    circuit = synthesize_circuit(spec, seed=seed)
+    w_steiner, _ = minimum_channel_width(
+        circuit, xc4000, RouterConfig(algorithm="ikmb")
+    )
+    w_two_pin, _ = minimum_channel_width(
+        circuit, xc4000, RouterConfig(algorithm="two_pin")
+    )
+    return {
+        "circuit": spec.name,
+        "steiner_width": w_steiner,
+        "two_pin_width": w_two_pin,
+        "ratio": w_two_pin / w_steiner,
+    }
+
+
+# ======================================================================
+# §5 CPU-time note — |V|=50, |E|=1000, |N|=5 random graphs
+# ======================================================================
+def run_cpu_times(trials: int = 5, seed: int = 77) -> Dict[str, float]:
+    """Mean per-net runtime (ms) of IKMB/PFA/IDOM at the paper's sizes."""
+    rng = random.Random(seed)
+    instances = []
+    for _ in range(trials):
+        g = random_connected_graph(50, 1000, rng)
+        instances.append((g, random_net(g, 5, rng)))
+    out: Dict[str, float] = {}
+    for name, fn in (("IKMB", ikmb), ("PFA", pfa), ("IDOM", idom)):
+        start = time.perf_counter()
+        for g, net in instances:
+            fn(g, net)
+        out[name] = (time.perf_counter() - start) / trials * 1000.0
+    return out

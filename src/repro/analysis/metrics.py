@@ -1,0 +1,83 @@
+"""Normalization and aggregation helpers for the experiment drivers.
+
+Table 1's methodology: "For each net, we normalized the wirelength
+produced by each heuristic with respect to the wirelength used by KMB;
+similarly, the maximum source-sink pathlength of each heuristic was
+normalized to optimal."  Positive percentages are disimprovements,
+negative improvements, exactly as the paper prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+def percent_vs(value: float, reference: float) -> float:
+    """Signed percent difference of ``value`` w.r.t. ``reference``.
+
+    ``+10`` means 10% worse (larger) than the reference; ``-5`` means
+    5% better.  A zero reference with a zero value is 0%; a zero
+    reference with a nonzero value is undefined and raises.
+    """
+    if reference == 0:
+        if value == 0:
+            return 0.0
+        raise ReproError("percent_vs undefined for zero reference")
+    return (value - reference) / reference * 100.0
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean (used to aggregate per-net normalized metrics)."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, x: float) -> None:
+        self.total += x
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ReproError("mean of empty sample")
+        return self.total / self.count
+
+
+@dataclass
+class AlgorithmSample:
+    """Per-algorithm aggregation of Table 1's two normalized metrics."""
+
+    wirelength_pct: RunningMean = field(default_factory=RunningMean)
+    max_path_pct: RunningMean = field(default_factory=RunningMean)
+
+    def add(self, wl_pct: float, mp_pct: float) -> None:
+        self.wirelength_pct.add(wl_pct)
+        self.max_path_pct.add(mp_pct)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (ratio summaries across circuits)."""
+    if not values:
+        raise ReproError("geometric mean of empty sample")
+    prod = 1.0
+    for v in values:
+        if v <= 0:
+            raise ReproError("geometric mean needs positive values")
+        prod *= v
+    return prod ** (1.0 / len(values))
+
+
+def ratio_table(
+    widths: Dict[str, int], baseline: str
+) -> Dict[str, float]:
+    """Tables 2–4 footer: each router's total width over the baseline's."""
+    if baseline not in widths:
+        raise ReproError(f"baseline {baseline!r} missing from widths")
+    base = widths[baseline]
+    if base == 0:
+        raise ReproError("zero baseline width total")
+    return {name: w / base for name, w in widths.items()}

@@ -1,0 +1,73 @@
+"""Plain-text table rendering in the layout style of the paper's tables.
+
+All experiment drivers return structured rows; this module turns them
+into aligned monospace tables so the benchmark harness can print output
+directly comparable with Tables 1–5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(cell: Cell, ndigits: int = 2) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{ndigits}f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    ndigits: int = 2,
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned, text left-aligned; floats use
+    ``ndigits`` decimals.  Returns a string ready for ``print``.
+    """
+    str_rows: List[List[str]] = [
+        [_fmt(c, ndigits) for c in row] for row in rows
+    ]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(
+                f"row has {len(r)} cells, expected {cols}: {r!r}"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, c in enumerate(cells):
+            # right-align numeric-looking cells
+            if c and (c[0].isdigit() or c[0] in "+-." or c == "-"):
+                out.append(c.rjust(widths[i]))
+            else:
+                out.append(c.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (cols - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[Cell]]) -> str:
+    """Render a two-column key/value block."""
+    return render_table(["metric", "value"], pairs, title=title)

@@ -1,0 +1,71 @@
+"""Graph Steiner arborescence constructions for critical-net routing (§4).
+
+All of these produce *shortest-paths trees* — every source→sink path in
+the output is a shortest path of the input graph — and differ in how
+much total wirelength they spend achieving that:
+
+* :func:`djka` — pruned Dijkstra tree (baseline);
+* :func:`dom` — connect-to-dominated spanning arborescence;
+* :func:`pfa` — Path-Folding Arborescence (MaxDom merging);
+* :func:`idom` — Iterated Dominance (greedy Steiner candidates over DOM);
+* :func:`optimal_arborescence_tree` — exact oracle for small nets;
+* :mod:`repro.arborescence.worst_cases` — the adversarial families of
+  Figures 10, 11 and 14.
+"""
+
+from .brbc import brbc, brbc_tree_graph, radius_cost_curve
+from .dom import dom, dom_cost, dom_tree_graph
+from .prim_dijkstra import (
+    pd_tradeoff_curve,
+    prim_dijkstra,
+    prim_dijkstra_tree_graph,
+)
+from .dominance import DominanceOracle
+from .djka import djka, djka_tree_graph
+from .exact import (
+    optimal_arborescence,
+    optimal_arborescence_cost,
+    optimal_arborescence_tree,
+    tight_edge_dag,
+)
+from .idom import IDOMTrace, idom
+from .pfa import pfa, pfa_tree_graph
+from .worst_cases import (
+    PFATrapInstance,
+    SetCoverInstance,
+    StaircaseInstance,
+    greedy_set_cover,
+    pfa_trap_family,
+    setcover_family,
+    staircase_instance,
+)
+
+__all__ = [
+    "brbc",
+    "brbc_tree_graph",
+    "radius_cost_curve",
+    "pd_tradeoff_curve",
+    "prim_dijkstra",
+    "prim_dijkstra_tree_graph",
+    "dom",
+    "dom_cost",
+    "dom_tree_graph",
+    "DominanceOracle",
+    "djka",
+    "djka_tree_graph",
+    "optimal_arborescence",
+    "optimal_arborescence_cost",
+    "optimal_arborescence_tree",
+    "tight_edge_dag",
+    "IDOMTrace",
+    "idom",
+    "pfa",
+    "pfa_tree_graph",
+    "PFATrapInstance",
+    "SetCoverInstance",
+    "StaircaseInstance",
+    "greedy_set_cover",
+    "pfa_trap_family",
+    "setcover_family",
+    "staircase_instance",
+]

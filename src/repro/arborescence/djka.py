@@ -1,0 +1,67 @@
+"""DJKA — Dijkstra's shortest-paths tree adapted to the GSA problem.
+
+Section 5's comparison baseline: "DJKA first computes a shortest-paths
+tree rooted at the source using Dijkstra's algorithm, and then deletes
+edges from this tree which are not contained in any source-to-sink
+path."  It trivially achieves optimal pathlengths but, lacking any path
+sharing beyond what Dijkstra tie-breaking happens to produce, wastes
+wirelength (+23–37% vs KMB in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..errors import DisconnectedError
+from ..graph.core import Graph
+from ..graph.shortest_paths import ShortestPathCache
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from ..steiner.tree import RoutingTree
+
+Node = Hashable
+
+
+def djka_tree_graph(
+    graph: Graph,
+    net: Net,
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """The pruned Dijkstra tree spanning the net, as a subgraph."""
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    dist, pred = cache.sssp(net.source)
+    for sink in net.sinks:
+        if sink not in dist:
+            raise DisconnectedError(net.source, sink)
+    tree = Graph()
+    tree.add_node(net.source)
+    # walk each sink's predecessor chain; stop early when we merge into
+    # already-collected structure.
+    for sink in net.sinks:
+        node = sink
+        if tree.has_node(node):
+            continue
+        while node != net.source:
+            parent = pred[node]
+            merged = tree.has_node(parent)
+            tree.add_edge(parent, node, graph.weight(parent, node))
+            if merged:
+                break
+            node = parent
+    prune_non_terminal_leaves(tree, net.terminals)
+    return tree
+
+
+def djka(
+    graph: Graph, net: Net, cache: Optional[ShortestPathCache] = None
+) -> RoutingTree:
+    """DJKA solution as a validated :class:`RoutingTree`.
+
+    The result is always a true arborescence: every source→sink path in
+    the tree is a shortest path of G by construction.
+    """
+    tree = djka_tree_graph(graph, net, cache)
+    return RoutingTree(net=net, tree=tree, algorithm="DJKA").validate(
+        host=graph
+    )

@@ -1,0 +1,75 @@
+"""DOM — the spanning-arborescence heuristic iterated by IDOM (§4.2).
+
+DOM is "a restricted version of the PFA heuristic where MaxDom(p, q) is
+constrained to be from N": concretely, "an arborescence is constructed
+by using a shortest path to connect each sink to the closest sink/source
+that it dominates, and then computing (Dijkstra's) shortest paths tree
+over the graph formed by the union of these paths."
+
+Because each connection ``sink → dominated node`` lies on a shortest
+source path, the union contains a G-optimal source path to every
+terminal, and the final Dijkstra SPT over the union preserves exactly
+those distances — so DOM's output is always a valid arborescence.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..graph.core import Graph
+from ..graph.shortest_paths import ShortestPathCache, dijkstra
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from ..steiner.tree import RoutingTree
+from .dominance import DominanceOracle
+
+Node = Hashable
+
+
+def dom_tree_graph(
+    graph: Graph,
+    source: Node,
+    members: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """DOM arborescence spanning ``{source} ∪ members``.
+
+    ``members`` are the sinks plus (for IDOM) any accepted/candidate
+    Steiner nodes, which DOM treats exactly like additional sinks.
+    """
+    oracle = DominanceOracle(graph, source, cache)
+    members = [m for m in dict.fromkeys(members) if m != source]
+    pool = [source] + members
+    connections: List[Tuple[Node, Node]] = []
+    for sink in members:
+        target, _ = oracle.nearest_dominated(sink, pool)
+        connections.append((sink, target))
+    union = oracle.shortest_paths_union(connections)
+    # Shortest-paths tree over the union, rooted at the source.
+    _, pred = dijkstra(union, source)
+    tree = Graph()
+    tree.add_node(source)
+    for node, parent in pred.items():
+        tree.add_edge(parent, node, union.weight(parent, node))
+    prune_non_terminal_leaves(tree, pool)
+    return tree
+
+
+def dom_cost(
+    graph: Graph,
+    source: Node,
+    members: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> float:
+    """cost(DOM(G, {source} ∪ members)) — IDOM's ΔDOM building block."""
+    return dom_tree_graph(graph, source, members, cache).total_weight()
+
+
+def dom(
+    graph: Graph, net: Net, cache: Optional[ShortestPathCache] = None
+) -> RoutingTree:
+    """Stand-alone DOM solution (one of Table 1's eight algorithms)."""
+    tree = dom_tree_graph(graph, net.source, net.sinks, cache)
+    return RoutingTree(net=net, tree=tree, algorithm="DOM").validate(
+        host=graph
+    )

@@ -1,0 +1,135 @@
+"""IDOM — the Iterated Dominance heuristic (§4.2, Figure 12).
+
+The arborescence counterpart of IGMST: greedily add Steiner candidates
+``t ∈ V − N`` that maximize ``ΔDOM(G, N, S ∪ {t}) = cost(DOM(G, N∪S)) −
+cost(DOM(G, N∪S∪{t}))``, returning ``DOM(G, N ∪ S)`` when no candidate
+improves.  Because DOM always emits a valid arborescence, so does IDOM —
+it escapes PFA's Θ(N) worst case (Figure 10) at the price of an
+Ω(log N) family of its own (Figure 14); the paper conjectures an
+O(log N) performance ratio, consistent with the Set-Cover hardness of
+the GSA problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, List, Optional, Tuple, Union
+
+from ..errors import GraphError
+from ..graph.core import Graph
+from ..graph.shortest_paths import ShortestPathCache
+from ..net import Net
+from ..steiner.tree import RoutingTree
+from .dom import dom_cost, dom_tree_graph
+
+Node = Hashable
+
+
+@dataclass
+class IDOMTrace:
+    """Execution record of one IDOM run (Figure 13 in the paper)."""
+
+    initial_cost: float = 0.0
+    #: (accepted Steiner node, ΔDOM it produced, cost after acceptance)
+    steps: List[Tuple[Node, float, float]] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def final_cost(self) -> float:
+        return self.steps[-1][2] if self.steps else self.initial_cost
+
+    @property
+    def total_savings(self) -> float:
+        return self.initial_cost - self.final_cost
+
+
+def _neighborhood_candidates(
+    graph: Graph,
+    cache: ShortestPathCache,
+    net: Net,
+    radius_factor: float,
+) -> List[Node]:
+    """Nodes within ``radius_factor × max sink distance`` of the source.
+
+    Useful Steiner points of an arborescence sit on shortest source
+    paths, hence inside the source-centered metric ball of the farthest
+    sink; the factor leaves slack for congestion-driven detours.
+    """
+    d0, _ = cache.sssp(net.source)
+    spread = max(d0.get(s, 0.0) for s in net.sinks)
+    radius = radius_factor * spread
+    terms = set(net.terminals)
+    return [v for v, d in d0.items() if d <= radius and v not in terms]
+
+
+def idom(
+    graph: Graph,
+    net: Net,
+    cache: Optional[ShortestPathCache] = None,
+    candidates: Union[str, Iterable[Node]] = "all",
+    neighborhood_radius: float = 1.0,
+    max_steiner_nodes: Optional[int] = None,
+    record_trace: bool = False,
+) -> RoutingTree:
+    """Run IDOM (Figure 12) and return the final arborescence.
+
+    Parameters mirror :func:`repro.steiner.iterated.igmst`; see there
+    for the candidate-strategy discussion.
+    """
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    terminal_set = set(net.terminals)
+
+    if isinstance(candidates, str):
+        if candidates == "all":
+            pool = [v for v in graph.nodes if v not in terminal_set]
+        elif candidates == "neighborhood":
+            pool = _neighborhood_candidates(
+                graph, cache, net, neighborhood_radius
+            )
+        else:
+            raise GraphError(f"unknown candidate strategy {candidates!r}")
+    else:
+        pool = [v for v in candidates if v not in terminal_set]
+
+    members = list(net.sinks)
+    chosen: List[Node] = []
+    base_cost = dom_cost(graph, net.source, members, cache)
+    trace = IDOMTrace(initial_cost=base_cost)
+
+    while True:
+        if max_steiner_nodes is not None and len(chosen) >= max_steiner_nodes:
+            break
+        trace.rounds += 1
+        best_gain = 0.0
+        best_node: Optional[Node] = None
+        chosen_set = set(chosen)
+        for t in pool:
+            if t in chosen_set:
+                continue
+            cost = dom_cost(
+                graph, net.source, members + chosen + [t], cache
+            )
+            gain = base_cost - cost
+            if gain > best_gain + 1e-12 or (
+                best_node is not None
+                and abs(gain - best_gain) <= 1e-12
+                and repr(t) < repr(best_node)
+            ):
+                if gain > 1e-12:
+                    best_gain = gain
+                    best_node = t
+        if best_node is None:
+            break
+        chosen.append(best_node)
+        base_cost -= best_gain
+        trace.steps.append((best_node, best_gain, base_cost))
+
+    tree = dom_tree_graph(graph, net.source, members + chosen, cache)
+    used = tuple(t for t in chosen if tree.has_node(t))
+    result = RoutingTree(
+        net=net, tree=tree, algorithm="IDOM", steiner_nodes=used
+    ).validate(host=graph)
+    if record_trace:
+        result.trace = trace  # type: ignore[attr-defined]
+    return result

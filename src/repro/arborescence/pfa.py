@@ -1,0 +1,107 @@
+"""PFA — the Path-Folding Arborescence heuristic (§4.1, Figure 9).
+
+The graph generalization of Rao et al.'s RSA construction [32]: starting
+from the net, repeatedly pick the pair ``{p, q}`` whose ``MaxDom(p, q)``
+is farthest from the source, replace the pair by that node, and keep it
+as a Steiner point.  When only the source remains, connect every
+collected node to the nearest node it dominates via shortest paths.
+
+The pair queue is kept as a max-heap ordered by MaxDom source distance,
+exactly the "list ordered by decreasing MaxDom values" the paper
+describes — a popped entry is valid only if both of its endpoints are
+still active.
+
+Worst cases: Θ(N)× optimal on arbitrary weighted graphs (Figure 10) and
+cost approaching 2× optimal even on grid graphs (Figure 11); both
+families are constructed in :mod:`repro.arborescence.worst_cases` and
+exercised by the figure benches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+from typing import Hashable, List, Optional, Set, Tuple
+
+from ..graph.core import Graph
+from ..graph.shortest_paths import ShortestPathCache, dijkstra
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from ..steiner.tree import RoutingTree
+from .dominance import DominanceOracle
+
+Node = Hashable
+
+
+def pfa_tree_graph(
+    graph: Graph,
+    net: Net,
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """PFA arborescence for ``net`` as a tree subgraph of ``graph``."""
+    oracle = DominanceOracle(graph, net.source, cache)
+    source = net.source
+
+    active: Set[Node] = set(net.terminals)
+    collected: List[Node] = list(net.terminals)
+
+    # Max-heap of (-source_dist(MaxDom), tie, maxdom, p, q).
+    heap: List[Tuple[float, int, Node, Node, Node]] = []
+    counter = 0
+
+    def push_pairs(fresh: Node) -> None:
+        nonlocal counter
+        # sorted for cross-process determinism: `active` is a set and
+        # push order decides ties between equal-MaxDom heap entries
+        for other in sorted(active, key=repr):
+            if other == fresh:
+                continue
+            m, dm = oracle.maxdom(fresh, other)
+            counter += 1
+            heapq.heappush(heap, (-dm, counter, m, fresh, other))
+
+    for p, q in combinations(sorted(active, key=repr), 2):
+        m, dm = oracle.maxdom(p, q)
+        counter += 1
+        heapq.heappush(heap, (-dm, counter, m, p, q))
+
+    while len(active) > 1:
+        neg_dm, _, m, p, q = heapq.heappop(heap)
+        if p not in active or q not in active:
+            continue  # stale entry (an endpoint was already merged)
+        active.discard(p)
+        active.discard(q)
+        if m not in collected:
+            collected.append(m)
+        if m not in active:
+            active.add(m)
+            push_pairs(m)
+        # if m is already active (e.g. m == source), nothing to push.
+
+    # Output step (Figure 9): connect each collected node to the nearest
+    # collected node it dominates, then take the SPT of the union.
+    connections: List[Tuple[Node, Node]] = []
+    pool = list(dict.fromkeys(collected + [source]))
+    for node in pool:
+        if node == source:
+            continue
+        target, _ = oracle.nearest_dominated(node, pool)
+        connections.append((node, target))
+    union = oracle.shortest_paths_union(connections)
+    _, pred = dijkstra(union, source)
+    tree = Graph()
+    tree.add_node(source)
+    for node, parent in pred.items():
+        tree.add_edge(parent, node, union.weight(parent, node))
+    prune_non_terminal_leaves(tree, net.terminals)
+    return tree
+
+
+def pfa(
+    graph: Graph, net: Net, cache: Optional[ShortestPathCache] = None
+) -> RoutingTree:
+    """PFA solution as a validated :class:`RoutingTree`."""
+    tree = pfa_tree_graph(graph, net, cache)
+    return RoutingTree(net=net, tree=tree, algorithm="PFA").validate(
+        host=graph
+    )

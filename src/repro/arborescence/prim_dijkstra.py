@@ -1,0 +1,117 @@
+"""AHHK Prim–Dijkstra tradeoff trees (Alpert et al. [9]).
+
+The second radius/cost tradeoff method Section 2 positions the paper
+against: a single Prim-like growth whose priority blends Prim's edge
+weight with Dijkstra's source distance,
+
+    priority(u, v) = c · dist_T(source, u) + w(u, v),
+
+with ``c = 0`` giving Prim's MST (minimum wirelength, unbounded radius)
+and ``c = 1`` giving Dijkstra's SPT (optimal radius, high wirelength).
+As with BRBC, "with the tradeoff parameter tuned completely towards
+pathlength minimization, [it] produce[s] the same shortest-paths tree
+as would Dijkstra's algorithm" — the endpoint PFA/IDOM improve on.
+
+The construction grows over the *distance graph* of the net (graph
+distances, then path expansion), which is the standard graph-domain
+lifting of the AHHK pointset algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..graph.core import Graph
+from ..graph.distance_graph import DistanceGraph
+from ..graph.shortest_paths import ShortestPathCache, dijkstra
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from ..steiner.tree import RoutingTree
+
+Node = Hashable
+INF = float("inf")
+
+
+def prim_dijkstra_tree_graph(
+    graph: Graph,
+    net: Net,
+    c: float,
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """AHHK tree with tradeoff parameter ``c ∈ [0, 1]``."""
+    if not 0.0 <= c <= 1.0:
+        raise GraphError("tradeoff parameter c must be in [0, 1]")
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    terminals = list(net.terminals)
+    closure = DistanceGraph(cache, terminals)
+
+    # Prim-Dijkstra growth over the closure
+    in_tree: Dict[Node, float] = {net.source: 0.0}  # node -> pathlength
+    parent: Dict[Node, Node] = {}
+    remaining = set(net.sinks)
+    while remaining:
+        best_key = INF
+        best_pair: Optional[Tuple[Node, Node]] = None
+        for u, plen in in_tree.items():
+            for v in remaining:
+                key = c * plen + closure.dist(u, v)
+                if key < best_key:
+                    best_key = key
+                    best_pair = (u, v)
+        if best_pair is None:
+            raise GraphError("net terminals not mutually reachable")
+        u, v = best_pair
+        parent[v] = u
+        in_tree[v] = in_tree[u] + closure.dist(u, v)
+        remaining.discard(v)
+
+    # expand closure edges into real graph paths, take the SPT of the
+    # union to resolve overlaps, prune to the net
+    union = closure.expand_edges(
+        (parent[v], v) for v in net.sinks
+    )
+    _, pred = dijkstra(union, net.source)
+    tree = Graph()
+    tree.add_node(net.source)
+    for node, par in pred.items():
+        tree.add_edge(par, node, union.weight(par, node))
+    prune_non_terminal_leaves(tree, net.terminals)
+    return tree
+
+
+def prim_dijkstra(
+    graph: Graph,
+    net: Net,
+    c: float = 0.5,
+    cache: Optional[ShortestPathCache] = None,
+) -> RoutingTree:
+    """AHHK Prim–Dijkstra solution as a validated :class:`RoutingTree`."""
+    tree = prim_dijkstra_tree_graph(graph, net, c, cache)
+    return RoutingTree(
+        net=net, tree=tree, algorithm=f"PD({c:g})"
+    ).validate(host=graph)
+
+
+def pd_tradeoff_curve(
+    graph: Graph,
+    net: Net,
+    cs,
+    cache: Optional[ShortestPathCache] = None,
+) -> List[Tuple[float, float, float]]:
+    """``(c, wirelength, max radius ratio)`` along the AHHK sweep."""
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    src_dist, _ = cache.sssp(net.source)
+    from ..graph.validation import tree_paths_from
+
+    out: List[Tuple[float, float, float]] = []
+    for c in cs:
+        tree = prim_dijkstra_tree_graph(graph, net, c, cache)
+        dist, _ = tree_paths_from(tree, net.source)
+        ratio = max(
+            dist[s] / src_dist[s] for s in net.sinks if src_dist[s] > 0
+        )
+        out.append((c, tree.total_weight(), ratio))
+    return out

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main workflows so the paper's experiments
+can be driven without writing Python:
+
+* ``route``  — route a (synthetic) benchmark circuit, print the summary
+  and optionally the occupancy map / SVG;
+* ``width``  — minimum-channel-width search for one circuit and one or
+  more algorithms;
+* ``table1`` — regenerate Table 1 at a chosen trial count;
+* ``net``    — route a single random net on a congested grid with every
+  tree algorithm (the quickstart, parameterized);
+* ``circuits`` — list the built-in benchmark circuit specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import run_table1
+from .analysis.tables import render_table
+from .errors import ReproError
+from .fpga import (
+    XC3000_CIRCUITS,
+    XC4000_CIRCUITS,
+    circuit_spec,
+    scaled_spec,
+    synthesize_circuit,
+    xc3000,
+    xc4000,
+)
+from .router import ALGORITHMS, RouterConfig, minimum_channel_width
+
+
+def _family(spec):
+    return xc3000 if spec.family == "xc3000" else xc4000
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Alexander & Robins (DAC 1995): "
+            "performance-driven FPGA routing."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser(
+        "route", help="route a benchmark circuit at minimum channel width"
+    )
+    p_route.add_argument("circuit", help="benchmark name, e.g. busc, term1")
+    p_route.add_argument("--algorithm", default="ikmb", choices=ALGORITHMS)
+    p_route.add_argument("--fraction", type=float, default=0.25,
+                         help="circuit scale (1.0 = published size)")
+    p_route.add_argument("--seed", type=int, default=1)
+    p_route.add_argument("--map", action="store_true",
+                         help="print the channel-occupancy map")
+    p_route.add_argument("--svg", metavar="PATH",
+                         help="write an SVG rendering to PATH")
+    p_route.add_argument("--save-circuit", metavar="PATH",
+                         help="write the synthesized circuit as JSON")
+    p_route.add_argument("--save-result", metavar="PATH",
+                         help="write the routing result as JSON")
+
+    p_width = sub.add_parser(
+        "width", help="compare algorithms' minimum channel widths"
+    )
+    p_width.add_argument("circuit")
+    p_width.add_argument(
+        "--algorithms", nargs="+", default=["ikmb", "two_pin"],
+        choices=ALGORITHMS,
+    )
+    p_width.add_argument("--fraction", type=float, default=0.25)
+    p_width.add_argument("--seed", type=int, default=1)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_t1.add_argument("--trials", type=int, default=5)
+    p_t1.add_argument("--grid", type=int, default=20)
+    p_t1.add_argument("--seed", type=int, default=1995)
+    p_t1.add_argument("--no-published", action="store_true",
+                      help="omit the published reference columns")
+
+    p_net = sub.add_parser(
+        "net", help="route one random net with every tree algorithm"
+    )
+    p_net.add_argument("--pins", type=int, default=5)
+    p_net.add_argument("--grid", type=int, default=20)
+    p_net.add_argument("--congestion", type=int, default=10,
+                       help="number of pre-routed nets")
+    p_net.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("circuits", help="list built-in benchmark circuits")
+
+    p_rep = sub.add_parser(
+        "report", help="run the fast drivers and emit a markdown report"
+    )
+    p_rep.add_argument("--trials", type=int, default=3,
+                       help="Table 1 trials per cell")
+    p_rep.add_argument("--output", metavar="PATH",
+                       help="write the report to PATH instead of stdout")
+    return parser
+
+
+def _cmd_route(args) -> int:
+    spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
+    circuit = synthesize_circuit(spec, seed=args.seed)
+    print(f"circuit: {circuit.stats()}")
+    width, result = minimum_channel_width(
+        circuit, _family(spec), RouterConfig(algorithm=args.algorithm)
+    )
+    print(
+        f"complete routing at W={width} "
+        f"(passes={result.passes_used}, "
+        f"wirelength={result.total_wirelength:.1f})"
+    )
+    family = _family(spec)
+    arch = family(circuit.rows, circuit.cols, width)
+    if args.map:
+        from .viz import render_occupancy
+
+        print()
+        print(render_occupancy(result, arch))
+    if args.svg:
+        from .viz import save_svg
+
+        save_svg(args.svg, result, arch)
+        print(f"SVG written to {args.svg}")
+    if args.save_circuit:
+        from .io import save_circuit
+
+        save_circuit(circuit, args.save_circuit)
+        print(f"circuit written to {args.save_circuit}")
+    if args.save_result:
+        from .io import save_result
+
+        save_result(result, args.save_result)
+        print(f"result written to {args.save_result}")
+    return 0
+
+
+def _cmd_width(args) -> int:
+    spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
+    circuit = synthesize_circuit(spec, seed=args.seed)
+    rows = []
+    for algo in args.algorithms:
+        width, result = minimum_channel_width(
+            circuit, _family(spec), RouterConfig(algorithm=algo)
+        )
+        rows.append(
+            [algo, width, result.passes_used,
+             round(result.total_wirelength, 1)]
+        )
+    print(
+        render_table(
+            ["algorithm", "min W", "passes", "wirelength"],
+            rows,
+            title=f"Minimum channel width — {spec.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    result = run_table1(
+        trials=args.trials, grid_size=args.grid, seed=args.seed
+    )
+    print(result.render(published=not args.no_published))
+    return 0
+
+
+def _cmd_net(args) -> int:
+    from .analysis import congested_grid
+    from .analysis.experiments import TABLE1_ALGORITHMS, _ALGO_FUNCS
+    from .graph import ShortestPathCache, dijkstra, random_net
+
+    rng = random.Random(args.seed)
+    graph, mean_w = congested_grid(args.grid, args.congestion, rng)
+    net = random_net(graph, args.pins, rng)
+    cache = ShortestPathCache(graph)
+    dist, _ = dijkstra(graph, net.source)
+    opt = max(dist[s] for s in net.sinks)
+    rows = []
+    for name in TABLE1_ALGORITHMS:
+        tree = _ALGO_FUNCS[name](graph, net, cache)
+        rows.append(
+            [name, round(tree.cost, 2), round(tree.max_pathlength, 2)]
+        )
+    print(
+        render_table(
+            ["algorithm", "wirelength", "max pathlength"],
+            rows,
+            title=(
+                f"{args.pins}-pin net on a {args.grid}x{args.grid} grid "
+                f"(w̄={mean_w:.2f}, optimal max path {opt:.2f})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_circuits(args) -> int:
+    rows = []
+    for spec in XC3000_CIRCUITS + XC4000_CIRCUITS:
+        rows.append(
+            [
+                spec.name,
+                spec.family,
+                f"{spec.cols}x{spec.rows}",
+                spec.num_nets,
+                spec.published.get("paper"),
+            ]
+        )
+    print(
+        render_table(
+            ["name", "family", "size", "nets", "paper W"],
+            rows,
+            title="Built-in benchmark circuit specifications",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(table1_trials=args.trials)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "route": _cmd_route,
+    "width": _cmd_width,
+    "table1": _cmd_table1,
+    "net": _cmd_net,
+    "circuits": _cmd_circuits,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: unknown circuit {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away — exit quietly
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch every library failure with a single ``except`` clause while still
+being able to distinguish graph-level problems from routing-level ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (missing node/edge, bad weight)."""
+
+
+class DisconnectedError(GraphError):
+    """Raised when a required path between two nodes does not exist.
+
+    The FPGA router treats this as "the net is infeasible on the current
+    (partially consumed) routing graph" and triggers the move-to-front
+    re-ordering described in Section 5 of the paper.
+    """
+
+    def __init__(self, source, target, message: str | None = None):
+        self.source = source
+        self.target = target
+        super().__init__(
+            message
+            or f"no path exists between {source!r} and {target!r}"
+        )
+
+
+class NetError(ReproError):
+    """An invalid net specification (empty net, duplicated pins, ...)."""
+
+
+class ArchitectureError(ReproError):
+    """An invalid FPGA architecture specification."""
+
+
+class RoutingError(ReproError):
+    """The detailed router could not produce a complete routing."""
+
+
+class UnroutableError(RoutingError):
+    """The circuit is unroutable at the requested channel width.
+
+    Mirrors the paper's feasibility threshold: if a complete routing is not
+    found within the configured number of passes, the router "decides that
+    the circuit is unroutable at that given channel width".
+    """
+
+    def __init__(self, channel_width: int, passes: int, failed_nets=()):
+        self.channel_width = channel_width
+        self.passes = passes
+        self.failed_nets = tuple(failed_nets)
+        super().__init__(
+            f"circuit unroutable at channel width {channel_width} "
+            f"after {passes} passes ({len(self.failed_nets)} nets failed)"
+        )

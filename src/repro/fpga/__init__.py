@@ -1,0 +1,76 @@
+"""FPGA architecture substrate: the platform of Sections 2 and 5.
+
+Symmetrical-array architecture models (:class:`Architecture`, with
+Xilinx 3000/4000-series presets), the routing-resource graph of
+Figure 2 (:class:`RoutingResourceGraph`), placed circuits, the
+published benchmark statistics of Tables 2–5, and the seeded synthetic
+circuit generator that stands in for the unavailable industrial
+netlists.
+"""
+
+from .architecture import (
+    Architecture,
+    ArchitectureFamily,
+    SIDES,
+    SIDE_PAIRS,
+    XC3000_FAMILY,
+    XC4000_FAMILY,
+    xc3000,
+    xc4000,
+)
+from .benchmarks import (
+    CircuitSpec,
+    TABLE1_PUBLISHED,
+    TABLE5_PUBLISHED,
+    XC3000_CIRCUITS,
+    XC4000_CIRCUITS,
+    circuit_spec,
+)
+from .netlist import PinRef, PlacedCircuit, PlacedNet
+from .routing_graph import (
+    RoutingResourceGraph,
+    SegmentInfo,
+    build_routing_graph,
+    junction,
+    pin_node,
+)
+from .synthetic import scaled_spec, synthesize_circuit
+from .three_d import (
+    Architecture3D,
+    PlacedNet3D,
+    RoutingResourceGraph3D,
+    pin_node_3d,
+    route_nets_3d,
+)
+
+__all__ = [
+    "Architecture",
+    "ArchitectureFamily",
+    "SIDES",
+    "SIDE_PAIRS",
+    "XC3000_FAMILY",
+    "XC4000_FAMILY",
+    "xc3000",
+    "xc4000",
+    "CircuitSpec",
+    "TABLE1_PUBLISHED",
+    "TABLE5_PUBLISHED",
+    "XC3000_CIRCUITS",
+    "XC4000_CIRCUITS",
+    "circuit_spec",
+    "PinRef",
+    "PlacedCircuit",
+    "PlacedNet",
+    "RoutingResourceGraph",
+    "SegmentInfo",
+    "build_routing_graph",
+    "junction",
+    "pin_node",
+    "scaled_spec",
+    "synthesize_circuit",
+    "Architecture3D",
+    "PlacedNet3D",
+    "RoutingResourceGraph3D",
+    "pin_node_3d",
+    "route_nets_3d",
+]

@@ -1,0 +1,209 @@
+"""Symmetrical-array FPGA architecture model (Section 2, Figure 1).
+
+An architecture is an R×C array of configurable logic blocks surrounded
+by routing channels of width W (tracks per channel), with:
+
+* **switch blocks** at every channel intersection, whose flexibility
+  ``Fs`` is "the number of different channel edges to which [a channel
+  edge] may be connected" [12], and
+* **connection blocks** joining logic-block pins to ``Fc`` of the W
+  adjacent tracks.
+
+Two presets reproduce the paper's experimental platforms:
+
+* :func:`xc3000` — the Xilinx 3000-series model used by CGE [12]:
+  ``Fs = 6``, ``Fc = ⌈0.6·W⌉``;
+* :func:`xc4000` — the 4000-series model used by SEGA [27] and GBP
+  [37]: ``Fs = 3``, ``Fc = W``.  (The paper's prose says Fs = 4 but its
+  Table 3 caption and the SEGA/GBP papers use 3; we follow the table —
+  see DESIGN.md §4.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ArchitectureError
+
+Side = str  # "N", "E", "S", "W"
+SIDES: Tuple[Side, ...] = ("N", "E", "S", "W")
+
+#: the six unordered side pairs inside a switch block
+SIDE_PAIRS: Tuple[Tuple[Side, Side], ...] = (
+    ("W", "E"), ("S", "N"), ("W", "N"), ("W", "S"), ("E", "N"), ("E", "S"),
+)
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A symmetrical-array FPGA.
+
+    Parameters
+    ----------
+    rows, cols:
+        Logic-block array dimensions (``rows × cols`` blocks).
+    channel_width:
+        W — number of parallel tracks per routing channel.
+    fs:
+        Switch-block flexibility (connections per incoming wire end).
+        Must be a positive multiple-of-3-friendly value; the pattern
+        generator distributes ``fs`` connections across the three other
+        sides as evenly as possible (``fs = 3`` → the classic disjoint
+        switch block, ``fs = 6`` → two tracks per side, the 3000-series
+        behaviour).
+    fc:
+        Connection-block flexibility — how many of the W adjacent
+        tracks each logic-block pin can reach.
+    pins_per_block:
+        Pin slots per logic block, distributed round-robin over the
+        four sides.
+    segment_weight / switch_weight / pin_weight:
+        Base edge weights of the routing graph: wirelength of one wire
+        segment, the (small) cost of a programmable switch, and the
+        pin-to-track connection cost.
+    name:
+        Family label used in reports.
+    """
+
+    rows: int
+    cols: int
+    channel_width: int
+    fs: int = 3
+    fc: int = 0  # 0 means "equal to channel_width"
+    pins_per_block: int = 8
+    segment_weight: float = 1.0
+    switch_weight: float = 0.1
+    pin_weight: float = 0.5
+    name: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ArchitectureError("array dimensions must be positive")
+        if self.channel_width < 1:
+            raise ArchitectureError("channel width must be >= 1")
+        if self.fs < 1:
+            raise ArchitectureError("Fs must be >= 1")
+        if self.pins_per_block < 1:
+            raise ArchitectureError("need at least one pin per block")
+        if self.fc < 0 or self.fc > self.channel_width:
+            raise ArchitectureError(
+                f"Fc={self.fc} out of range for W={self.channel_width}"
+            )
+        if self.segment_weight <= 0:
+            raise ArchitectureError("segment weight must be positive")
+        if self.switch_weight < 0 or self.pin_weight < 0:
+            raise ArchitectureError("switch/pin weights must be >= 0")
+
+    @property
+    def effective_fc(self) -> int:
+        """Fc, resolving the ``0 == full`` convention."""
+        return self.fc if self.fc else self.channel_width
+
+    @property
+    def num_blocks(self) -> int:
+        return self.rows * self.cols
+
+    def with_channel_width(self, width: int) -> "Architecture":
+        """Same architecture at a different W (used by the width search).
+
+        Families whose Fc scales with W (XC3000's ``⌈0.6·W⌉``) are
+        handled by :class:`ArchitectureFamily`; this method keeps an
+        explicit Fc only if it was explicitly set below W.
+        """
+        fc = self.fc if self.fc and self.fc <= width else 0
+        return replace(self, channel_width=width, fc=fc)
+
+    def switch_pattern(self, side_a: Side, side_b: Side) -> List[Tuple[int, int]]:
+        """Track pairs connected between ``side_a`` and ``side_b``.
+
+        Each wire end must reach ``fs`` wire ends on the other three
+        sides; connections are distributed ``fs // 3`` per side with the
+        remainder given to the first pairs in :data:`SIDE_PAIRS` order.
+        A track ``t`` connects to tracks ``t, t+1, …`` (mod W) on the
+        other side, so ``fs = 3`` reproduces the disjoint (identity)
+        switch block and ``fs = 6`` the denser 3000-series block.
+        """
+        if (side_a, side_b) not in SIDE_PAIRS and (
+            side_b,
+            side_a,
+        ) not in SIDE_PAIRS:
+            raise ArchitectureError(f"bad side pair ({side_a}, {side_b})")
+        base = self.fs // 3
+        remainder = self.fs % 3
+        try:
+            pair_index = SIDE_PAIRS.index((side_a, side_b))
+        except ValueError:
+            pair_index = SIDE_PAIRS.index((side_b, side_a))
+        # Each side belongs to exactly 3 of the 6 side pairs; these boost
+        # sets give every side exactly `remainder` boosted pairs, so each
+        # wire end gets exactly fs connections in a full switch block.
+        boosted = ((), (0, 1), (0, 1, 2, 5))[remainder]
+        fanout = base + (1 if pair_index in boosted else 0)
+        w = self.channel_width
+        pairs = []
+        for t in range(w):
+            for k in range(min(fanout, w)):
+                pairs.append((t, (t + k) % w))
+        return pairs
+
+    def pin_side(self, pin_index: int) -> Side:
+        """Side hosting the given pin slot (round-robin N, E, S, W)."""
+        if not 0 <= pin_index < self.pins_per_block:
+            raise ArchitectureError(
+                f"pin index {pin_index} out of range "
+                f"(block has {self.pins_per_block} pins)"
+            )
+        return SIDES[pin_index % 4]
+
+    def pin_tracks(self, pin_index: int) -> List[int]:
+        """The Fc track indices the given pin can connect to.
+
+        Different pins start at staggered offsets so that small Fc
+        values still spread load across the channel (the usual
+        connection-block stagger).
+        """
+        fc = self.effective_fc
+        w = self.channel_width
+        start = (pin_index * max(1, w // max(1, self.pins_per_block))) % w
+        return [(start + i) % w for i in range(fc)]
+
+
+@dataclass(frozen=True)
+class ArchitectureFamily:
+    """A parametric family ``W → Architecture`` (Fc may depend on W)."""
+
+    name: str
+    build: Callable[[int, int, int], Architecture] = field(compare=False)
+
+    def at(self, rows: int, cols: int, channel_width: int) -> Architecture:
+        return self.build(rows, cols, channel_width)
+
+
+def xc3000(rows: int, cols: int, channel_width: int) -> Architecture:
+    """Xilinx 3000-series model: Fs = 6, Fc = ⌈0.6·W⌉ (Table 2)."""
+    return Architecture(
+        rows=rows,
+        cols=cols,
+        channel_width=channel_width,
+        fs=6,
+        fc=int(math.ceil(0.6 * channel_width)),
+        name="xc3000",
+    )
+
+
+def xc4000(rows: int, cols: int, channel_width: int) -> Architecture:
+    """Xilinx 4000-series model: Fs = 3, Fc = W (Table 3)."""
+    return Architecture(
+        rows=rows,
+        cols=cols,
+        channel_width=channel_width,
+        fs=3,
+        fc=channel_width,
+        name="xc4000",
+    )
+
+
+XC3000_FAMILY = ArchitectureFamily(name="xc3000", build=xc3000)
+XC4000_FAMILY = ArchitectureFamily(name="xc4000", build=xc4000)

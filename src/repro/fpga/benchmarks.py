@@ -1,0 +1,169 @@
+"""The paper's benchmark circuits as published statistics.
+
+The original industrial circuits (distributed by Rose and Brown with the
+CGE/SEGA work) are not publicly archived; we reproduce each circuit as a
+*specification* — array size, net count, and pin-count histogram exactly
+as printed in Tables 2 and 3 — from which :mod:`repro.fpga.synthetic`
+generates a seeded placed circuit with matching statistics (DESIGN.md §4
+documents this substitution).  The published channel widths of CGE,
+SEGA and GBP are carried along as literature reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Published statistics of one benchmark circuit.
+
+    ``nets_2_3`` / ``nets_4_10`` / ``nets_over_10`` are the Tables 2–3
+    pin-count buckets; ``published`` maps router name → the channel
+    width reported in the paper (including the paper's own router).
+    """
+
+    name: str
+    family: str  # "xc3000" or "xc4000"
+    cols: int
+    rows: int
+    nets_2_3: int
+    nets_4_10: int
+    nets_over_10: int
+    published: Dict[str, int]
+
+    @property
+    def num_nets(self) -> int:
+        return self.nets_2_3 + self.nets_4_10 + self.nets_over_10
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return (self.cols, self.rows)
+
+
+def _spec(name, family, cols, rows, b23, b410, bover, published):
+    spec = CircuitSpec(
+        name=name,
+        family=family,
+        cols=cols,
+        rows=rows,
+        nets_2_3=b23,
+        nets_4_10=b410,
+        nets_over_10=bover,
+        published=published,
+    )
+    return spec
+
+
+#: Table 2 — Xilinx 3000-series circuits (Fs=6, Fc=⌈0.6W⌉).
+XC3000_CIRCUITS: Tuple[CircuitSpec, ...] = (
+    _spec("busc", "xc3000", 12, 13, 115, 28, 8,
+          {"CGE": 10, "paper": 7}),
+    _spec("dma", "xc3000", 16, 18, 139, 52, 22,
+          {"CGE": 10, "paper": 9}),
+    _spec("bnre", "xc3000", 21, 22, 255, 70, 27,
+          {"CGE": 12, "paper": 9}),
+    _spec("dfsm", "xc3000", 22, 23, 361, 26, 33,
+          {"CGE": 10, "paper": 9}),
+    _spec("z03", "xc3000", 26, 27, 398, 176, 34,
+          {"CGE": 13, "paper": 11}),
+)
+
+#: Table 3 / Table 4 — Xilinx 4000-series circuits (Fs=3, Fc=W).
+#: "paper" is the IKMB router width; PFA/IDOM widths are from Table 4.
+XC4000_CIRCUITS: Tuple[CircuitSpec, ...] = (
+    _spec("alu4", "xc4000", 19, 17, 165, 69, 21,
+          {"SEGA": 15, "GBP": 14, "paper": 11, "paper_pfa": 14,
+           "paper_idom": 13}),
+    _spec("apex7", "xc4000", 12, 10, 83, 30, 2,
+          {"SEGA": 13, "GBP": 11, "paper": 10, "paper_pfa": 11,
+           "paper_idom": 11}),
+    _spec("term1", "xc4000", 10, 9, 65, 21, 2,
+          {"SEGA": 10, "GBP": 10, "paper": 8, "paper_pfa": 9,
+           "paper_idom": 9}),
+    _spec("example2", "xc4000", 14, 12, 171, 25, 9,
+          {"SEGA": 17, "GBP": 13, "paper": 11, "paper_pfa": 13,
+           "paper_idom": 13}),
+    _spec("too_large", "xc4000", 14, 14, 128, 46, 12,
+          {"SEGA": 12, "GBP": 12, "paper": 10, "paper_pfa": 12,
+           "paper_idom": 12}),
+    _spec("k2", "xc4000", 22, 20, 241, 146, 17,
+          {"SEGA": 17, "GBP": 17, "paper": 15, "paper_pfa": 17,
+           "paper_idom": 17}),
+    _spec("vda", "xc4000", 17, 16, 132, 80, 13,
+          {"SEGA": 13, "GBP": 13, "paper": 12, "paper_pfa": 14,
+           "paper_idom": 13}),
+    _spec("9symml", "xc4000", 11, 10, 60, 11, 8,
+          {"SEGA": 10, "GBP": 9, "paper": 8, "paper_pfa": 9,
+           "paper_idom": 8}),
+    _spec("alu2", "xc4000", 15, 13, 109, 26, 18,
+          {"SEGA": 11, "GBP": 11, "paper": 9, "paper_pfa": 11,
+           "paper_idom": 10}),
+)
+
+#: Table 5 — per-circuit W and published PFA/IDOM deltas vs IKMB
+#: (wirelength increase %, max-path decrease %), at equal channel width.
+TABLE5_PUBLISHED: Dict[str, Dict[str, float]] = {
+    "alu4": {"W": 14, "pfa_wire": 20.9, "idom_wire": 15.8,
+             "pfa_path": -15.2, "idom_path": -16.9},
+    "apex7": {"W": 11, "pfa_wire": 15.3, "idom_wire": 9.2,
+              "pfa_path": -4.2, "idom_path": -6.8},
+    "term1": {"W": 9, "pfa_wire": 11.4, "idom_wire": 12.0,
+              "pfa_path": -6.2, "idom_path": -2.0},
+    "example2": {"W": 13, "pfa_wire": 13.1, "idom_wire": 8.1,
+                 "pfa_path": -4.6, "idom_path": -5.6},
+    "too_large": {"W": 12, "pfa_wire": 17.9, "idom_wire": 15.2,
+                  "pfa_path": -9.7, "idom_path": -9.4},
+    "k2": {"W": 17, "pfa_wire": 24.5, "idom_wire": 17.6,
+           "pfa_path": -7.1, "idom_path": -7.2},
+    "vda": {"W": 14, "pfa_wire": 18.7, "idom_wire": 11.9,
+            "pfa_path": -9.9, "idom_path": -11.5},
+    "9symml": {"W": 9, "pfa_wire": 18.3, "idom_wire": 11.4,
+               "pfa_path": -14.0, "idom_path": -14.4},
+    "alu2": {"W": 11, "pfa_wire": 23.9, "idom_wire": 14.1,
+             "pfa_path": -14.7, "idom_path": -18.0},
+}
+
+#: Table 1 published values: congestion level -> net size ->
+#: algorithm -> (wirelength % vs KMB, max-path % vs optimal).
+TABLE1_PUBLISHED: Dict[str, Dict[int, Dict[str, Tuple[float, float]]]] = {
+    "none": {
+        5: {"KMB": (0.00, 23.51), "ZEL": (-6.22, 11.07),
+            "IKMB": (-6.47, 10.83), "IZEL": (-6.79, 8.85),
+            "DJKA": (29.23, 0.00), "DOM": (17.51, 0.00),
+            "PFA": (-5.59, 0.00), "IDOM": (-5.59, 0.00)},
+        8: {"KMB": (0.00, 40.30), "ZEL": (-7.85, 23.42),
+            "IKMB": (-8.19, 24.04), "IZEL": (-8.31, 21.47),
+            "DJKA": (30.53, 0.00), "DOM": (18.48, 0.00),
+            "PFA": (-5.02, 0.00), "IDOM": (-4.89, 0.00)},
+    },
+    "low": {
+        5: {"KMB": (0.00, 27.61), "ZEL": (-4.64, 19.14),
+            "IKMB": (-5.68, 17.12), "IZEL": (-5.98, 14.56),
+            "DJKA": (26.64, 0.00), "DOM": (22.27, 0.00),
+            "PFA": (8.95, 0.00), "IDOM": (8.95, 0.00)},
+        8: {"KMB": (0.00, 47.66), "ZEL": (-4.10, 34.17),
+            "IKMB": (-4.50, 33.35), "IZEL": (-5.52, 22.29),
+            "DJKA": (32.48, 0.00), "DOM": (28.09, 0.00),
+            "PFA": (13.91, 0.00), "IDOM": (13.91, 0.00)},
+    },
+    "medium": {
+        5: {"KMB": (0.00, 30.67), "ZEL": (-4.37, 21.54),
+            "IKMB": (-5.09, 17.77), "IZEL": (-5.57, 15.26),
+            "DJKA": (22.94, 0.00), "DOM": (21.78, 0.00),
+            "PFA": (13.93, 0.00), "IDOM": (13.93, 0.00)},
+        8: {"KMB": (0.00, 52.67), "ZEL": (-3.35, 44.95),
+            "IKMB": (-4.42, 42.42), "IZEL": (-4.97, 40.20),
+            "DJKA": (36.79, 0.00), "DOM": (33.89, 0.00),
+            "PFA": (22.65, 0.00), "IDOM": (22.59, 0.00)},
+    },
+}
+
+
+def circuit_spec(name: str) -> CircuitSpec:
+    """Look up a benchmark circuit by name (either family)."""
+    for spec in XC3000_CIRCUITS + XC4000_CIRCUITS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown benchmark circuit {name!r}")

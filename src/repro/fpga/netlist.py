@@ -1,0 +1,129 @@
+"""Placed circuits: nets over logic-block pin slots.
+
+The router's input (§5): a technology-mapped, placed circuit whose nets
+name (block, pin) slots on the FPGA.  Placement itself is out of the
+paper's scope ("we assume that partitioning, technology mapping, and
+placement have already been performed"), so circuits here are either
+synthetic (:mod:`repro.fpga.synthetic`) or hand-built in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NetError
+from ..net import Net
+from .architecture import Architecture
+from .routing_graph import pin_node
+
+#: a pin reference: (block_x, block_y, pin_slot)
+PinRef = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PlacedNet:
+    """A net whose pins are placed logic-block pin slots."""
+
+    name: str
+    source: PinRef
+    sinks: Tuple[PinRef, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise NetError(f"net {self.name!r} has no sinks")
+        seen = {self.source}
+        for s in self.sinks:
+            if s in seen:
+                raise NetError(f"net {self.name!r} reuses pin {s!r}")
+            seen.add(s)
+
+    @property
+    def num_pins(self) -> int:
+        return 1 + len(self.sinks)
+
+    @property
+    def pins(self) -> Tuple[PinRef, ...]:
+        return (self.source,) + self.sinks
+
+    def to_graph_net(self) -> Net:
+        """The net expressed over routing-graph pin nodes."""
+        return Net(
+            source=pin_node(*self.source),
+            sinks=tuple(pin_node(*s) for s in self.sinks),
+            name=self.name,
+        )
+
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """(min_x, min_y, max_x, max_y) over the net's blocks."""
+        xs = [p[0] for p in self.pins]
+        ys = [p[1] for p in self.pins]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def half_perimeter(self) -> int:
+        """HPWL estimate of the net's wirelength demand."""
+        x0, y0, x1, y1 = self.bounding_box()
+        return (x1 - x0) + (y1 - y0)
+
+
+@dataclass
+class PlacedCircuit:
+    """A complete placed design: nets plus the array it targets."""
+
+    name: str
+    rows: int
+    cols: int
+    nets: List[PlacedNet] = field(default_factory=list)
+
+    def validate(self, pins_per_block: int) -> "PlacedCircuit":
+        """Check placement legality: pins in range and used at most once."""
+        used: Dict[PinRef, str] = {}
+        for net in self.nets:
+            for bx, by, p in net.pins:
+                if not (0 <= bx < self.cols and 0 <= by < self.rows):
+                    raise NetError(
+                        f"net {net.name!r}: block ({bx},{by}) outside "
+                        f"{self.cols}x{self.rows} array"
+                    )
+                if not 0 <= p < pins_per_block:
+                    raise NetError(
+                        f"net {net.name!r}: pin slot {p} out of range"
+                    )
+                ref = (bx, by, p)
+                if ref in used:
+                    raise NetError(
+                        f"pin {ref!r} used by both {used[ref]!r} "
+                        f"and {net.name!r}"
+                    )
+                used[ref] = net.name
+        return self
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def pin_histogram(self) -> Dict[str, int]:
+        """Net counts by the paper's pin buckets (Tables 2–3 columns)."""
+        buckets = {"2-3": 0, "4-10": 0, ">10": 0}
+        for net in self.nets:
+            n = net.num_pins
+            if n <= 3:
+                buckets["2-3"] += 1
+            elif n <= 10:
+                buckets["4-10"] += 1
+            else:
+                buckets[">10"] += 1
+        return buckets
+
+    def total_pins(self) -> int:
+        return sum(net.num_pins for net in self.nets)
+
+    def stats(self) -> Dict[str, object]:
+        hist = self.pin_histogram()
+        return {
+            "name": self.name,
+            "size": f"{self.cols}x{self.rows}",
+            "nets": self.num_nets,
+            "pins": self.total_pins(),
+            **hist,
+        }

@@ -1,0 +1,61 @@
+"""Weighted-graph substrate: the routing domain of the paper (Section 2).
+
+Everything the Steiner/arborescence heuristics and the FPGA router need:
+an undirected weighted :class:`Graph`, Dijkstra shortest paths with a
+version-aware :class:`ShortestPathCache`, spanning trees, the metric
+closure (:class:`DistanceGraph`), seeded generators for the paper's
+experimental workloads, and tree validation/pruning helpers.
+"""
+
+from .core import Graph, edge_key
+from .distance_graph import DistanceGraph, terminal_distances
+from .multiweight import MultiWeightGraph, sweep_tradeoff
+from .generators import (
+    grid_graph,
+    random_connected_graph,
+    random_net,
+    random_nets,
+)
+from .shortest_paths import (
+    ShortestPathCache,
+    dijkstra,
+    path_cost,
+    reconstruct_path,
+    shortest_path,
+)
+from .spanning import UnionFind, dense_mst, kruskal_mst, mst_cost, prim_mst
+from .validation import (
+    assert_valid_steiner_tree,
+    is_tree,
+    prune_non_terminal_leaves,
+    spans,
+    tree_paths_from,
+)
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    "DistanceGraph",
+    "terminal_distances",
+    "MultiWeightGraph",
+    "sweep_tradeoff",
+    "grid_graph",
+    "random_connected_graph",
+    "random_net",
+    "random_nets",
+    "ShortestPathCache",
+    "dijkstra",
+    "path_cost",
+    "reconstruct_path",
+    "shortest_path",
+    "UnionFind",
+    "dense_mst",
+    "kruskal_mst",
+    "mst_cost",
+    "prim_mst",
+    "assert_valid_steiner_tree",
+    "is_tree",
+    "prune_non_terminal_leaves",
+    "spans",
+    "tree_paths_from",
+]

@@ -1,0 +1,261 @@
+"""Undirected weighted graph used as the routing substrate.
+
+The paper models the FPGA as an arbitrary weighted graph ``G = (V, E)``
+(Section 2, Figure 2): every wire segment and programmable switch is an
+edge whose weight reflects wirelength plus congestion.  This module
+provides that substrate as a small, dependency-free adjacency-dict graph
+with the exact operations the routing algorithms need:
+
+* cheap neighbor iteration (Dijkstra inner loop),
+* edge removal (resources committed to a routed net are deleted),
+* weight updates (congestion re-weighting between nets),
+* a monotonically increasing :attr:`Graph.version` so shortest-path caches
+  can tell when their memoized results became stale.
+
+Nodes may be any hashable value; the FPGA layer uses structured tuples
+(e.g. ``("h", x, y, track)``) while the algorithm test-suites mostly use
+small integers and grid coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """A simple undirected graph with positive edge weights.
+
+    Parallel edges are not supported (the FPGA model never needs them:
+    distinct physical wires become distinct nodes/edges by construction),
+    and self-loops are rejected.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge("a", "b", 2.0)
+    >>> g.add_edge("b", "c", 1.0)
+    >>> g.weight("a", "b")
+    2.0
+    >>> sorted(g.neighbors("b"))
+    ['a', 'c']
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_version")
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._num_edges = 0
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present (idempotent)."""
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._version += 1
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add an undirected edge ``{u, v}`` with the given ``weight``.
+
+        Adding an edge that already exists overwrites its weight.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} not allowed")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight} on edge ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._version += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raise :class:`GraphError` if absent."""
+        try:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+        self._num_edges -= 1
+        self._version += 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        try:
+            neighbors = self._adj.pop(node)
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+        for other in neighbors:
+            del self._adj[other][node]
+        self._num_edges -= len(neighbors)
+        self._version += 1
+
+    def set_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Update the weight of an existing edge."""
+        if weight < 0:
+            raise GraphError(f"negative weight {weight} on edge ({u!r}, {v!r})")
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._version += 1
+
+    def scale_weight(self, u: Node, v: Node, factor: float) -> None:
+        """Multiply the weight of edge ``{u, v}`` by ``factor``."""
+        self.set_weight(u, v, self.weight(u, v) * factor)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped on every structural or weight change."""
+        return self._version
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; raises if the edge is absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def neighbors(self, node: Node) -> Iterable[Node]:
+        try:
+            return self._adj[node].keys()
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def neighbor_items(self, node: Node):
+        """``(neighbor, weight)`` pairs — the Dijkstra hot path."""
+        try:
+            return self._adj[node].items()
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def degree(self, node: Node) -> int:
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self._adj.keys()
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate each undirected edge exactly once as ``(u, v, w)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if v not in seen:
+                    yield (u, v, w)
+            seen.add(u)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy (independent adjacency; node objects are shared)."""
+        g = Graph()
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph on ``nodes`` (nodes absent from G are ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        g = Graph()
+        for n in keep:
+            g.add_node(n)
+        for u in keep:
+            for v, w in self._adj[u].items():
+                if v in keep and not g.has_edge(u, v):
+                    g.add_edge(u, v, w)
+        return g
+
+    def edge_subgraph(
+        self, edge_list: Iterable[Edge]
+    ) -> "Graph":
+        """Subgraph containing exactly ``edge_list`` (weights from G)."""
+        g = Graph()
+        for u, v in edge_list:
+            g.add_edge(u, v, self.weight(u, v))
+        return g
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def connected_component(self, start: Node) -> set:
+        """Set of nodes reachable from ``start``."""
+        if start not in self._adj:
+            raise GraphError(f"node {start!r} not in graph")
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def is_connected(self, within: Optional[Iterable[Node]] = None) -> bool:
+        """True if the graph (or the given node subset) is mutually reachable.
+
+        With ``within``, checks that all listed nodes lie in one connected
+        component of the *full* graph (they need not induce a connected
+        subgraph themselves) — exactly the feasibility question the router
+        asks before attempting a net.
+        """
+        if within is not None:
+            targets = list(within)
+            if not targets:
+                return True
+            component = self.connected_component(targets[0])
+            return all(t in component for t in targets)
+        if not self._adj:
+            return True
+        first = next(iter(self._adj))
+        return len(self.connected_component(first)) == self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Canonical (order-independent) key for an undirected edge.
+
+    Uses a total order on ``repr`` when the nodes are not directly
+    comparable, so mixed node types still produce a deterministic key.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)

@@ -1,0 +1,120 @@
+"""Seeded graph and net generators for experiments and tests.
+
+Section 5 of the paper evaluates the tree algorithms on "random nets,
+uniformly distributed in 20×20 weighted grid graphs" with congestion
+modeled by pre-routing k nets with KMB and bumping edge weights, and
+quotes CPU times on "random graphs with |V| = 50, |E| = 1000".  The
+generators here produce exactly those workloads, deterministically from
+an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from ..net import Net
+from .core import Graph
+
+Node = Hashable
+GridNode = Tuple[int, int]
+
+
+def grid_graph(width: int, height: int, weight: float = 1.0) -> Graph:
+    """A ``width × height`` rectilinear grid graph with uniform weights.
+
+    Nodes are ``(x, y)`` with ``0 <= x < width`` and ``0 <= y < height``;
+    edges join 4-neighbors.  This mirrors the paper's Figure 3(a): before
+    any routing, shortest-path distance equals rectilinear distance.
+    """
+    if width < 1 or height < 1:
+        raise GraphError("grid dimensions must be positive")
+    g = Graph()
+    for x in range(width):
+        for y in range(height):
+            g.add_node((x, y))
+            if x > 0:
+                g.add_edge((x - 1, y), (x, y), weight)
+            if y > 0:
+                g.add_edge((x, y - 1), (x, y), weight)
+    return g
+
+
+def random_connected_graph(
+    num_nodes: int,
+    num_edges: int,
+    rng: random.Random,
+    min_weight: float = 1.0,
+    max_weight: float = 10.0,
+) -> Graph:
+    """A random connected graph with exactly ``num_edges`` edges.
+
+    A random spanning tree guarantees connectivity; the remaining edges
+    are sampled uniformly from the non-edges.  Weights are uniform in
+    ``[min_weight, max_weight]``.  Matches the "|V| = 50, |E| = 1000"
+    CPU-time instances of Section 5.
+    """
+    if num_edges < num_nodes - 1:
+        raise GraphError(
+            f"{num_edges} edges cannot connect {num_nodes} nodes"
+        )
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(
+            f"{num_edges} edges exceed the maximum {max_edges} for "
+            f"{num_nodes} nodes"
+        )
+    g = Graph()
+    nodes = list(range(num_nodes))
+    rng.shuffle(nodes)
+    g.add_node(nodes[0])
+    # random spanning tree: attach each new node to a random existing one
+    for i, node in enumerate(nodes[1:], start=1):
+        anchor = nodes[rng.randrange(i)]
+        g.add_edge(node, anchor, rng.uniform(min_weight, max_weight))
+    # fill in remaining edges
+    attempts = 0
+    while g.num_edges < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.uniform(min_weight, max_weight))
+        attempts += 1
+        if attempts > 100 * num_edges:  # pragma: no cover - safety valve
+            raise GraphError("edge sampling failed to converge")
+    return g
+
+
+def random_net(
+    graph: Graph,
+    num_pins: int,
+    rng: random.Random,
+    name: Optional[str] = None,
+) -> Net:
+    """A net of ``num_pins`` distinct nodes sampled uniformly from G.
+
+    The first sampled node becomes the source, matching the paper's
+    "uniformly-distributed nets" of Section 5.
+    """
+    nodes = list(graph.nodes)
+    if num_pins > len(nodes):
+        raise GraphError(
+            f"cannot sample {num_pins} pins from {len(nodes)} nodes"
+        )
+    pins = rng.sample(nodes, num_pins)
+    return Net(source=pins[0], sinks=tuple(pins[1:]), name=name)
+
+
+def random_nets(
+    graph: Graph,
+    count: int,
+    pin_range: Tuple[int, int],
+    rng: random.Random,
+) -> List[Net]:
+    """``count`` random nets with pin counts uniform in ``pin_range``."""
+    lo, hi = pin_range
+    return [
+        random_net(graph, rng.randint(lo, hi), rng, name=f"n{i}")
+        for i in range(count)
+    ]

@@ -1,0 +1,199 @@
+"""Multi-weighted routing graphs (the framework of [4, 7]).
+
+Section 2 notes the authors' companion work: "a routing framework where
+mutually competing objectives (such as congestion, wirelength, and jog
+minimization) may be simultaneously optimized" by attaching a *vector*
+of weights to each edge and scalarizing with tunable coefficients.
+This module provides that framework over the same :class:`Graph`
+substrate, so every algorithm in the library runs unchanged on any
+chosen objective blend:
+
+>>> mwg = MultiWeightGraph(objectives=("wirelength", "congestion"))
+>>> mwg.add_edge("a", "b", wirelength=2.0, congestion=0.5)
+>>> g = mwg.scalarize({"wirelength": 1.0, "congestion": 3.0})
+>>> g.weight("a", "b")
+3.5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import GraphError
+from .core import Graph, edge_key
+
+Node = Hashable
+
+
+class MultiWeightGraph:
+    """An undirected graph whose edges carry one weight per objective.
+
+    Parameters
+    ----------
+    objectives:
+        Ordered names of the weight components.  Every edge must supply
+        all of them (missing components default to 0).
+    """
+
+    def __init__(self, objectives: Iterable[str]):
+        self.objectives: Tuple[str, ...] = tuple(objectives)
+        if not self.objectives:
+            raise GraphError("need at least one objective")
+        if len(set(self.objectives)) != len(self.objectives):
+            raise GraphError("duplicate objective names")
+        self._edges: Dict[Tuple, Dict[str, float]] = {}
+        self._nodes: set = set()
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._nodes.add(node)
+
+    def add_edge(self, u: Node, v: Node, **weights: float) -> None:
+        """Add an edge with named per-objective weights.
+
+        Unknown objective names are rejected; omitted ones default 0.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} not allowed")
+        unknown = set(weights) - set(self.objectives)
+        if unknown:
+            raise GraphError(f"unknown objectives {sorted(unknown)}")
+        vector = {name: float(weights.get(name, 0.0))
+                  for name in self.objectives}
+        for name, val in vector.items():
+            if val < 0:
+                raise GraphError(
+                    f"negative {name} weight on edge ({u!r}, {v!r})"
+                )
+        self._nodes.add(u)
+        self._nodes.add(v)
+        self._edges[edge_key(u, v)] = vector
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        try:
+            del self._edges[edge_key(u, v)]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def weight_vector(self, u: Node, v: Node) -> Dict[str, float]:
+        try:
+            return dict(self._edges[edge_key(u, v)])
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def set_component(
+        self, u: Node, v: Node, objective: str, value: float
+    ) -> None:
+        """Update one objective component of an existing edge.
+
+        The router-style use: bump the ``congestion`` component after
+        each net while the ``wirelength`` component stays fixed.
+        """
+        if objective not in self.objectives:
+            raise GraphError(f"unknown objective {objective!r}")
+        if value < 0:
+            raise GraphError("weights must be >= 0")
+        key = edge_key(u, v)
+        if key not in self._edges:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        self._edges[key][objective] = value
+
+    # ------------------------------------------------------------------
+    def scalarize(
+        self, coefficients: Mapping[str, float]
+    ) -> Graph:
+        """Collapse to a plain :class:`Graph` under a weighted sum.
+
+        ``coefficients`` maps objective → multiplier (missing → 0).
+        The result is a snapshot: later multi-weight edits don't
+        propagate (rebuild after re-weighting, exactly as the router
+        rebuilds congestion weights between nets).
+        """
+        unknown = set(coefficients) - set(self.objectives)
+        if unknown:
+            raise GraphError(f"unknown objectives {sorted(unknown)}")
+        g = Graph()
+        for node in self._nodes:
+            g.add_node(node)
+        for (u, v), vector in self._edges.items():
+            total = sum(
+                coefficients.get(name, 0.0) * val
+                for name, val in vector.items()
+            )
+            g.add_edge(u, v, total)
+        return g
+
+    def pareto_compare(
+        self,
+        tree_a: Iterable[Tuple[Node, Node]],
+        tree_b: Iterable[Tuple[Node, Node]],
+    ) -> Optional[int]:
+        """Pareto-compare two edge sets across all objectives.
+
+        Returns -1 if ``tree_a`` dominates (no objective worse, one
+        strictly better), +1 if ``tree_b`` dominates, 0 if equal, and
+        ``None`` if incomparable.
+        """
+        totals_a = self.tree_cost(tree_a)
+        totals_b = self.tree_cost(tree_b)
+        a_better = any(
+            totals_a[k] < totals_b[k] - 1e-12 for k in self.objectives
+        )
+        b_better = any(
+            totals_b[k] < totals_a[k] - 1e-12 for k in self.objectives
+        )
+        if a_better and b_better:
+            return None
+        if a_better:
+            return -1
+        if b_better:
+            return 1
+        return 0
+
+    def tree_cost(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> Dict[str, float]:
+        """Per-objective totals of an edge collection."""
+        totals = {name: 0.0 for name in self.objectives}
+        for u, v in edges:
+            vector = self.weight_vector(u, v)
+            for name in self.objectives:
+                totals[name] += vector[name]
+        return totals
+
+
+def sweep_tradeoff(
+    mwg: MultiWeightGraph,
+    net,
+    algorithm,
+    objective_x: str,
+    objective_y: str,
+    lambdas: Iterable[float],
+) -> List[Tuple[float, float, float]]:
+    """Trace a tradeoff curve between two objectives.
+
+    For each λ, scalarize with ``(1−λ)·x + λ·y``, run ``algorithm`` on
+    the resulting plain graph, and report
+    ``(λ, total_x, total_y)`` of the produced tree — the multi-weighted
+    routing experiment of [4, 7].
+    """
+    out: List[Tuple[float, float, float]] = []
+    for lam in lambdas:
+        if not 0.0 <= lam <= 1.0:
+            raise GraphError("lambda must be in [0, 1]")
+        g = mwg.scalarize({objective_x: 1.0 - lam, objective_y: lam})
+        tree = algorithm(g, net)
+        totals = mwg.tree_cost(
+            (u, v) for u, v, _ in tree.tree.edges()
+        )
+        out.append((lam, totals[objective_x], totals[objective_y]))
+    return out

@@ -1,0 +1,202 @@
+"""Single-source shortest paths (Dijkstra) and a per-source memo cache.
+
+Every algorithm in the paper is built on shortest paths: KMB and ZEL use
+the metric closure over the net, the dominance relation of Section 4 is
+*defined* through ``minpath`` values, and DJKA is literally a pruned
+Dijkstra tree.  The paper stresses (Sections 3 and 4) that the iterated
+constructions only become practical once shortest-path computations are
+"factored out" and shared; :class:`ShortestPathCache` is that shared
+store, keyed by ``(source, graph.version)`` so any graph mutation
+transparently invalidates stale entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import DisconnectedError, GraphError
+from .core import Graph
+
+Node = Hashable
+INF = float("inf")
+
+
+def dijkstra(
+    graph: Graph,
+    source: Node,
+    targets: Optional[Iterable[Node]] = None,
+    cutoff: Optional[float] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Run Dijkstra's algorithm [16] from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph.
+    source:
+        Start node.
+    targets:
+        If given, the search stops as soon as every target has been
+        settled (early exit) — the router uses this when it only needs
+        pin-to-pin distances on a large routing graph.
+    cutoff:
+        If given, nodes farther than ``cutoff`` are not settled.  Used by
+        neighborhood-restricted Steiner candidate generation.
+
+    Returns
+    -------
+    (dist, pred):
+        ``dist[v]`` is the shortest-path cost from ``source`` to each
+        settled node ``v``; ``pred[v]`` is v's predecessor on one such
+        shortest path (``pred[source]`` is absent).
+
+    Notes
+    -----
+    Ties between equal-cost paths are broken by heap insertion order,
+    which is deterministic given a deterministic graph construction
+    order; all generators in :mod:`repro.graph.generators` are seeded.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} not in graph")
+    remaining = set(targets) if targets is not None else None
+    if remaining is not None:
+        remaining.discard(source)
+
+    dist: Dict[Node, float] = {}
+    pred: Dict[Node, Node] = {}
+    seen = {source: 0.0}
+    counter = 0
+    heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbor_items(u):
+            if v in dist:
+                continue
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            if v not in seen or nd < seen[v]:
+                seen[v] = nd
+                pred[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return dist, pred
+
+
+def reconstruct_path(
+    pred: Dict[Node, Node], source: Node, target: Node
+) -> List[Node]:
+    """Rebuild the node sequence ``source .. target`` from a pred map."""
+    if target == source:
+        return [source]
+    if target not in pred:
+        raise DisconnectedError(source, target)
+    path = [target]
+    node = target
+    while node != source:
+        node = pred[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def shortest_path(
+    graph: Graph, source: Node, target: Node
+) -> Tuple[List[Node], float]:
+    """Convenience wrapper: one shortest path and its cost."""
+    dist, pred = dijkstra(graph, source, targets=[target])
+    if target not in dist:
+        raise DisconnectedError(source, target)
+    return reconstruct_path(pred, source, target), dist[target]
+
+
+def path_cost(graph: Graph, path: List[Node]) -> float:
+    """Total weight of consecutive edges along ``path``."""
+    return sum(graph.weight(u, v) for u, v in zip(path, path[1:]))
+
+
+class ShortestPathCache:
+    """Memoized single-source shortest-path trees for one graph.
+
+    The cache stores, per source node, the full ``(dist, pred)`` result of
+    an untruncated Dijkstra run.  Entries are invalidated automatically
+    when :attr:`Graph.version` changes, so the router can mutate the graph
+    between nets and keep using the same cache object.
+
+    This is the concrete realization of the paper's complexity reductions:
+    IGMST evaluates ``ΔH`` for every candidate node, and IDOM calls DOM
+    ``O(|V|·|N|)`` times — both become tractable because every call reuses
+    the same terminal-rooted shortest-path trees.
+    """
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._store: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
+        self._version = graph.version
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def _check_version(self) -> None:
+        if self._graph.version != self._version:
+            self._store.clear()
+            self._version = self._graph.version
+
+    def sssp(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        """Full shortest-path tree from ``source`` (memoized)."""
+        self._check_version()
+        entry = self._store.get(source)
+        if entry is None:
+            entry = dijkstra(self._graph, source)
+            self._store[source] = entry
+        return entry
+
+    def dist(self, source: Node, target: Node) -> float:
+        """``minpath_G(source, target)``; INF if unreachable.
+
+        Answered from whichever endpoint is already cached (the graph is
+        undirected so ``d(u,v) == d(v,u)``), preferring ``source``.
+        """
+        self._check_version()
+        if source in self._store:
+            return self._store[source][0].get(target, INF)
+        if target in self._store:
+            return self._store[target][0].get(source, INF)
+        return self.sssp(source)[0].get(target, INF)
+
+    def path(self, source: Node, target: Node) -> List[Node]:
+        """One shortest path ``source .. target`` as a node list."""
+        self._check_version()
+        if source in self._store:
+            dist, pred = self._store[source]
+            if target not in dist:
+                raise DisconnectedError(source, target)
+            return reconstruct_path(pred, source, target)
+        dist, pred = self.sssp(target)
+        if source not in dist:
+            raise DisconnectedError(source, target)
+        path = reconstruct_path(pred, target, source)
+        path.reverse()
+        return path
+
+    def warm(self, sources: Iterable[Node]) -> None:
+        """Pre-compute SSSPs from every node in ``sources``."""
+        for s in sources:
+            self.sssp(s)
+
+    def cached_sources(self) -> List[Node]:
+        self._check_version()
+        return list(self._store)
+
+    def __len__(self) -> int:
+        self._check_version()
+        return len(self._store)

@@ -1,0 +1,102 @@
+"""Structural checks and pruning for routing trees.
+
+KMB's last step "delete[s] pendant edges ... until all leaves are members
+of N"; every heuristic's output must be a tree that spans its net.  These
+helpers centralize those invariants so each algorithm (and the test
+suite) can assert them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..errors import GraphError
+from .core import Graph
+
+Node = Hashable
+
+
+def is_tree(graph: Graph) -> bool:
+    """True iff ``graph`` is connected and acyclic (or empty)."""
+    n = graph.num_nodes
+    if n == 0:
+        return True
+    return graph.num_edges == n - 1 and graph.is_connected()
+
+
+def spans(graph: Graph, terminals: Iterable[Node]) -> bool:
+    """True iff every terminal is a node of ``graph``."""
+    return all(graph.has_node(t) for t in terminals)
+
+
+def assert_valid_steiner_tree(
+    tree: Graph, terminals: Iterable[Node], host: Optional[Graph] = None
+) -> None:
+    """Raise :class:`GraphError` unless ``tree`` is a Steiner tree for
+    ``terminals`` (optionally checking containment in ``host``).
+    """
+    terms = list(terminals)
+    if not spans(tree, terms):
+        missing = [t for t in terms if not tree.has_node(t)]
+        raise GraphError(f"tree misses terminals {missing!r}")
+    if not is_tree(tree):
+        raise GraphError(
+            f"not a tree: |V|={tree.num_nodes}, |E|={tree.num_edges}, "
+            f"connected={tree.is_connected()}"
+        )
+    if host is not None:
+        for u, v, w in tree.edges():
+            if not host.has_edge(u, v):
+                raise GraphError(f"tree edge ({u!r}, {v!r}) not in host graph")
+            host_w = host.weight(u, v)
+            if abs(host_w - w) > 1e-9 * max(1.0, abs(host_w)):
+                raise GraphError(
+                    f"tree edge ({u!r}, {v!r}) weight {w} != host {host_w}"
+                )
+
+
+def prune_non_terminal_leaves(tree: Graph, terminals: Iterable[Node]) -> Graph:
+    """Repeatedly delete degree-1 nodes that are not terminals (in place).
+
+    Returns the same graph object for chaining.  This is KMB's pendant
+    deletion step and is also applied by DJKA after pruning the Dijkstra
+    tree down to source–sink paths.
+    """
+    keep: Set[Node] = set(terminals)
+    leaves = [
+        n for n in list(tree.nodes)
+        if n not in keep and tree.degree(n) <= 1
+    ]
+    while leaves:
+        node = leaves.pop()
+        if not tree.has_node(node):
+            continue
+        neighbors = list(tree.neighbors(node))
+        tree.remove_node(node)
+        for nb in neighbors:
+            if nb not in keep and tree.has_node(nb) and tree.degree(nb) <= 1:
+                leaves.append(nb)
+    return tree
+
+
+def tree_paths_from(
+    tree: Graph, root: Node
+) -> Tuple[dict, dict]:
+    """Distances and predecessors from ``root`` within a tree via DFS.
+
+    Cheaper than Dijkstra (no heap) and exact because trees have unique
+    paths.  Used to measure per-sink pathlengths of heuristic outputs.
+    """
+    if not tree.has_node(root):
+        raise GraphError(f"root {root!r} not in tree")
+    dist = {root: 0.0}
+    pred: dict = {}
+    stack: List[Node] = [root]
+    while stack:
+        u = stack.pop()
+        for v, w in tree.neighbor_items(u):
+            if v not in dist:
+                dist[v] = dist[u] + w
+                pred[v] = u
+                stack.append(v)
+    return dist, pred

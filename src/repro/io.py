@@ -1,0 +1,185 @@
+"""JSON serialization of circuits and routing results.
+
+A library meant to be used in a flow needs durable artifacts: placed
+circuits you can check into a repo and re-route, and routing results
+you can archive and re-analyze without re-running the router.  The
+formats here are plain JSON with explicit versioning.
+
+Circuit files round-trip exactly; result files preserve everything the
+analysis layer consumes (per-net edges, wirelength, pathlengths) —
+node ids are encoded as JSON-safe nested lists and decoded back to the
+tuple forms the library uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from .errors import ReproError
+from .fpga.netlist import PlacedCircuit, PlacedNet
+from .router.result import NetRoute, RoutingResult
+
+_CIRCUIT_VERSION = 1
+_RESULT_VERSION = 1
+
+
+def _encode_node(node: Any) -> Any:
+    """Encode a routing-graph node id (nested tuples) as JSON lists."""
+    if isinstance(node, tuple):
+        return [_encode_node(x) for x in node]
+    return node
+
+
+def _decode_node(value: Any) -> Any:
+    """Decode the :func:`_encode_node` representation back to tuples."""
+    if isinstance(value, list):
+        return tuple(_decode_node(x) for x in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# circuits
+# ----------------------------------------------------------------------
+def circuit_to_dict(circuit: PlacedCircuit) -> Dict[str, Any]:
+    """Serializable form of a placed circuit."""
+    return {
+        "format": "repro-circuit",
+        "version": _CIRCUIT_VERSION,
+        "name": circuit.name,
+        "rows": circuit.rows,
+        "cols": circuit.cols,
+        "nets": [
+            {
+                "name": net.name,
+                "source": list(net.source),
+                "sinks": [list(s) for s in net.sinks],
+            }
+            for net in circuit.nets
+        ],
+    }
+
+
+def circuit_from_dict(data: Dict[str, Any]) -> PlacedCircuit:
+    """Inverse of :func:`circuit_to_dict` (with format validation)."""
+    if data.get("format") != "repro-circuit":
+        raise ReproError("not a repro circuit file")
+    if data.get("version") != _CIRCUIT_VERSION:
+        raise ReproError(
+            f"unsupported circuit format version {data.get('version')!r}"
+        )
+    nets = [
+        PlacedNet(
+            name=n["name"],
+            source=tuple(n["source"]),
+            sinks=tuple(tuple(s) for s in n["sinks"]),
+        )
+        for n in data["nets"]
+    ]
+    return PlacedCircuit(
+        name=data["name"],
+        rows=data["rows"],
+        cols=data["cols"],
+        nets=nets,
+    )
+
+
+def save_circuit(circuit: PlacedCircuit, path: str) -> None:
+    """Write a circuit to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(circuit_to_dict(circuit), fh, indent=1)
+
+
+def load_circuit(path: str) -> PlacedCircuit:
+    """Read a circuit from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return circuit_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# routing results
+# ----------------------------------------------------------------------
+def result_to_dict(result: RoutingResult) -> Dict[str, Any]:
+    """Serializable form of a routing result."""
+    return {
+        "format": "repro-result",
+        "version": _RESULT_VERSION,
+        "circuit": result.circuit,
+        "channel_width": result.channel_width,
+        "algorithm": result.algorithm,
+        "passes_used": result.passes_used,
+        "failed_nets": list(result.failed_nets),
+        "routes": [
+            {
+                "name": r.name,
+                "algorithm": r.algorithm,
+                "source": _encode_node(r.source),
+                "sinks": [_encode_node(s) for s in r.sinks],
+                "edges": [
+                    [_encode_node(u), _encode_node(v), w]
+                    for u, v, w in r.edges
+                ],
+                "wirelength": r.wirelength,
+                "pathlengths": [
+                    [_encode_node(s), d] for s, d in r.pathlengths.items()
+                ],
+                "optimal_pathlengths": [
+                    [_encode_node(s), d]
+                    for s, d in r.optimal_pathlengths.items()
+                ],
+            }
+            for r in result.routes
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RoutingResult:
+    """Inverse of :func:`result_to_dict` (with format validation)."""
+    if data.get("format") != "repro-result":
+        raise ReproError("not a repro result file")
+    if data.get("version") != _RESULT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {data.get('version')!r}"
+        )
+    routes: List[NetRoute] = []
+    for r in data["routes"]:
+        routes.append(
+            NetRoute(
+                name=r["name"],
+                algorithm=r["algorithm"],
+                source=_decode_node(r["source"]),
+                sinks=tuple(_decode_node(s) for s in r["sinks"]),
+                edges=[
+                    (_decode_node(u), _decode_node(v), w)
+                    for u, v, w in r["edges"]
+                ],
+                wirelength=r["wirelength"],
+                pathlengths={
+                    _decode_node(s): d for s, d in r["pathlengths"]
+                },
+                optimal_pathlengths={
+                    _decode_node(s): d
+                    for s, d in r["optimal_pathlengths"]
+                },
+            )
+        )
+    return RoutingResult(
+        circuit=data["circuit"],
+        channel_width=data["channel_width"],
+        algorithm=data["algorithm"],
+        passes_used=data["passes_used"],
+        routes=routes,
+        failed_nets=tuple(data["failed_nets"]),
+    )
+
+
+def save_result(result: RoutingResult, path: str) -> None:
+    """Write a routing result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh)
+
+
+def load_result(path: str) -> RoutingResult:
+    """Read a routing result from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return result_from_dict(json.load(fh))

@@ -1,0 +1,101 @@
+"""Net model shared by every routing algorithm in the library.
+
+A *net* (Section 2 of the paper) is a set of pins to be electrically
+connected: one designated *source* ``n0`` and one or more *sinks*.  Both the
+Steiner heuristics (which ignore the source/sink distinction and only
+minimize wirelength) and the arborescence heuristics (which build
+shortest-paths trees rooted at the source) consume this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Optional, Tuple
+
+from .errors import NetError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Net:
+    """A multi-pin net: a source pin and a tuple of sink pins.
+
+    Parameters
+    ----------
+    source:
+        The signal source ``n0``.
+    sinks:
+        The remaining pins.  Order is irrelevant to all algorithms but is
+        preserved for reproducibility of tie-breaking.
+    name:
+        Optional identifier (used by the FPGA netlist machinery and in
+        router diagnostics).
+
+    Examples
+    --------
+    >>> net = Net(source=0, sinks=(3, 7))
+    >>> net.size
+    3
+    >>> sorted(net.terminals)
+    [0, 3, 7]
+    """
+
+    source: Node
+    sinks: Tuple[Node, ...]
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        sinks = tuple(self.sinks)
+        object.__setattr__(self, "sinks", sinks)
+        if not sinks:
+            raise NetError(f"net {self.name!r} has no sinks")
+        seen = {self.source}
+        for sink in sinks:
+            if sink in seen:
+                raise NetError(
+                    f"net {self.name!r} contains duplicate pin {sink!r}"
+                )
+            seen.add(sink)
+
+    @property
+    def terminals(self) -> Tuple[Node, ...]:
+        """All pins of the net, source first."""
+        return (self.source,) + self.sinks
+
+    @property
+    def size(self) -> int:
+        """Number of pins (source + sinks)."""
+        return 1 + len(self.sinks)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.terminals)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, node: Node) -> bool:
+        return node == self.source or node in self.sinks
+
+    @classmethod
+    def from_terminals(
+        cls, terminals: Iterable[Node], name: Optional[str] = None
+    ) -> "Net":
+        """Build a net whose source is the first terminal in ``terminals``."""
+        terms = list(terminals)
+        if len(terms) < 2:
+            raise NetError("a net needs at least a source and one sink")
+        return cls(source=terms[0], sinks=tuple(terms[1:]), name=name)
+
+    def relabel(self, mapping) -> "Net":
+        """Return a copy of the net with every pin passed through ``mapping``.
+
+        ``mapping`` may be a dict or a callable.  Used when embedding
+        abstract nets into a concrete FPGA routing graph.
+        """
+        get = mapping.__getitem__ if hasattr(mapping, "__getitem__") else mapping
+        return Net(
+            source=get(self.source),
+            sinks=tuple(get(s) for s in self.sinks),
+            name=self.name,
+        )

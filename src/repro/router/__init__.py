@@ -1,0 +1,26 @@
+"""The detailed FPGA router of Section 5.
+
+One-net-at-a-time routing with pluggable tree construction, congestion
+re-weighting, resource commitment, move-to-front re-ordering across
+≤ 20 passes, and minimum-channel-width search.
+"""
+
+from .channel_width import estimate_lower_bound, minimum_channel_width
+from .config import ALGORITHMS, RouterConfig
+from .congestion import CongestionModel
+from .result import NetRoute, RoutingResult, measure_route
+from .router import FPGARouter, route_circuit, steiner_candidates_near_tree
+
+__all__ = [
+    "estimate_lower_bound",
+    "minimum_channel_width",
+    "ALGORITHMS",
+    "RouterConfig",
+    "CongestionModel",
+    "NetRoute",
+    "RoutingResult",
+    "measure_route",
+    "FPGARouter",
+    "route_circuit",
+    "steiner_candidates_near_tree",
+]

@@ -1,0 +1,111 @@
+"""Router configuration knobs.
+
+Defaults follow Section 5: up to 20 routing passes ("we arbitrarily set
+this feasibility threshold to 20 passes"), IKMB as the default tree
+algorithm (the one used for the paper's channel-width headline results),
+and congestion-aware edge re-weighting after every routed net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import RoutingError
+
+#: algorithms the router can dispatch per net
+ALGORITHMS = (
+    "kmb", "zel", "ikmb", "izel",      # Steiner (wirelength)
+    "djka", "dom", "pfa", "idom",      # arborescence (pathlength first)
+    "two_pin",                         # decomposition baseline (≈ CGE/SEGA)
+)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunable behaviour of :class:`repro.router.router.FPGARouter`.
+
+    Parameters
+    ----------
+    algorithm:
+        Per-net tree construction; one of :data:`ALGORITHMS`.
+    max_passes:
+        Feasibility threshold — the circuit is declared unroutable at
+        the current channel width after this many move-to-front passes.
+    congestion:
+        Enable congestion re-weighting of channel segments after each
+        net (§5: "the edge weights are updated to reflect the new
+        congestion values").
+    congestion_alpha:
+        Strength of the congestion penalty: a span with utilization u
+        has its remaining segment edges weighted
+        ``base · (1 + alpha · u)``.
+    steiner_candidate_depth:
+        BFS depth around a net's seed tree from which the iterated
+        algorithms (IKMB/IZEL/IDOM) draw Steiner candidates.  The
+        paper-faithful "all of V − N" scan is exact but quadratic in
+        the routing-graph size; the ablation bench quantifies the gap.
+    max_steiner_nodes:
+        Safety cap on accepted Steiner candidates per net.
+    order:
+        Initial net ordering: ``"pins_desc"`` (high-fanout first, the
+        default), ``"hpwl_desc"``, or ``"input"``.
+    critical_algorithm:
+        Optional second algorithm for *critical* nets (§2: "nets may be
+        classified as either critical or non-critical based on timing
+        information from the higher-level design stages").  When set,
+        critical nets route with this algorithm (typically ``"pfa"`` or
+        ``"idom"``) and the rest with ``algorithm``.
+    critical_nets:
+        Explicit net names to treat as critical.
+    critical_fraction:
+        Alternatively, classify this fraction of nets (by descending
+        half-perimeter — the long-path proxy the paper sketches) as
+        critical.  Ignored when ``critical_nets`` is given.
+    """
+
+    algorithm: str = "ikmb"
+    max_passes: int = 20
+    congestion: bool = True
+    congestion_alpha: float = 2.0
+    steiner_candidate_depth: int = 2
+    max_steiner_nodes: int = 8
+    order: str = "pins_desc"
+    critical_algorithm: Optional[str] = None
+    critical_nets: Optional[frozenset] = None
+    critical_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise RoutingError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if self.max_passes < 1:
+            raise RoutingError("max_passes must be >= 1")
+        if self.congestion_alpha < 0:
+            raise RoutingError("congestion_alpha must be >= 0")
+        if self.order not in ("pins_desc", "hpwl_desc", "input"):
+            raise RoutingError(f"unknown net order {self.order!r}")
+        if self.critical_algorithm is not None:
+            if self.critical_algorithm not in ALGORITHMS:
+                raise RoutingError(
+                    f"unknown critical algorithm "
+                    f"{self.critical_algorithm!r}"
+                )
+            if self.critical_algorithm == "two_pin":
+                raise RoutingError(
+                    "two_pin cannot serve as the critical-net algorithm"
+                )
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise RoutingError("critical_fraction must be in [0, 1]")
+        if self.critical_nets is not None and not isinstance(
+            self.critical_nets, frozenset
+        ):
+            object.__setattr__(
+                self, "critical_nets", frozenset(self.critical_nets)
+            )
+
+    def with_algorithm(self, algorithm: str) -> "RouterConfig":
+        """Copy of this config running a different per-net algorithm."""
+        return replace(self, algorithm=algorithm)

@@ -1,0 +1,57 @@
+"""Congestion model: channel utilization → segment edge re-weighting.
+
+Section 5: "Edge weights in this graph reflect wirelength, as well as
+the congestion induced by previously-routed nets. ... After the routing
+of each net, the edge weights are updated to reflect the new congestion
+values."  The unit of congestion here is the *channel span* — the W
+parallel track segments between two adjacent switch blocks.  When a net
+consumes tracks of a span, the surviving tracks of that span become more
+expensive, steering later nets toward emptier channels; that load
+balancing is precisely what lets a circuit complete at a smaller channel
+width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..fpga.routing_graph import GroupKey, RoutingResourceGraph
+
+
+class CongestionModel:
+    """Multiplicative congestion penalties on channel-span segments.
+
+    A span at utilization ``u`` (fraction of its tracks consumed) has
+    every remaining segment edge re-weighted to
+    ``base_weight · (1 + alpha · u)``.  ``alpha = 0`` disables the model
+    (the ablation bench measures the channel-width cost of doing so).
+    """
+
+    def __init__(self, rrg: RoutingResourceGraph, alpha: float = 2.0):
+        self.rrg = rrg
+        self.alpha = alpha
+
+    def penalty(self, utilization: float) -> float:
+        """Weight multiplier for a span at the given utilization."""
+        return 1.0 + self.alpha * utilization
+
+    def reweight_groups(self, groups: Iterable[GroupKey]) -> int:
+        """Refresh the weights of all surviving segments in ``groups``.
+
+        Returns the number of edges re-weighted.  Called by the router
+        with the spans touched by the net it just committed.
+        """
+        graph = self.rrg.graph
+        updated = 0
+        for group in groups:
+            utilization = self.rrg.group_utilization(group)
+            factor = self.penalty(utilization)
+            for u, v in self.rrg.group_tracks(group):
+                if graph.has_edge(u, v):
+                    graph.set_weight(u, v, self.rrg.base_weight(u, v) * factor)
+                    updated += 1
+        return updated
+
+    def reweight_all(self) -> int:
+        """Refresh every span (used when loading a partially-routed state)."""
+        return self.reweight_groups(self.rrg.groups())

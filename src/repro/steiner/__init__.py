@@ -1,0 +1,59 @@
+"""Graph Steiner tree constructions for non-critical-net routing (§3).
+
+* :func:`kmb` — Kou–Markowsky–Berman, bound 2·(1 − 1/L) [26];
+* :func:`zel` — Zelikovsky triple contraction, bound 11/6 [39];
+* :func:`igmst` / :func:`ikmb` / :func:`izel` — the paper's iterated
+  template and its two instantiations;
+* :func:`optimal_steiner_tree` — exact Dreyfus–Wagner oracle for small
+  nets;
+* :class:`RoutingTree` — the validated result type shared with the
+  arborescence heuristics.
+"""
+
+from .exact import dreyfus_wagner, optimal_steiner_cost, optimal_steiner_tree
+from .iterated import (
+    IGMSTTrace,
+    KMB_HEURISTIC,
+    MEHLHORN_HEURISTIC,
+    ZEL_HEURISTIC,
+    SteinerHeuristic,
+    igmst,
+    ikmb,
+    izel,
+)
+from .kmb import kmb, kmb_cost, kmb_tree_graph
+from .mehlhorn import (
+    mehlhorn,
+    mehlhorn_cost,
+    mehlhorn_tree_graph,
+    voronoi_regions,
+)
+from .tree import RoutingTree, tree_from_edges
+from .zelikovsky import zel, zel_cost, zel_steiner_points, zel_tree_graph
+
+__all__ = [
+    "dreyfus_wagner",
+    "optimal_steiner_cost",
+    "optimal_steiner_tree",
+    "IGMSTTrace",
+    "KMB_HEURISTIC",
+    "MEHLHORN_HEURISTIC",
+    "ZEL_HEURISTIC",
+    "mehlhorn",
+    "mehlhorn_cost",
+    "mehlhorn_tree_graph",
+    "voronoi_regions",
+    "SteinerHeuristic",
+    "igmst",
+    "ikmb",
+    "izel",
+    "kmb",
+    "kmb_cost",
+    "kmb_tree_graph",
+    "RoutingTree",
+    "tree_from_edges",
+    "zel",
+    "zel_cost",
+    "zel_steiner_points",
+    "zel_tree_graph",
+]

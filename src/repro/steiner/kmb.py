@@ -1,0 +1,79 @@
+"""The Kou–Markowsky–Berman (KMB) graph Steiner heuristic [26].
+
+Appendix 8.1 of the paper; performance ratio ``2·(1 − 1/L)`` where L is
+the maximum leaf count of any optimal Steiner tree.  The three steps:
+
+1. build the distance graph G' over the net N (metric closure),
+2. take MST(G') and expand each closure edge into its realizing shortest
+   path in G, forming the subgraph G'',
+3. take MST(G'') and prune pendant (non-terminal leaf) edges.
+
+KMB is both a stand-alone heuristic and the inner engine of IKMB; it is
+also the tool the paper uses to *create* congestion for Table 1 (k nets
+pre-routed with KMB, bumping edge weights).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from ..graph.core import Graph
+from ..graph.distance_graph import DistanceGraph
+from ..graph.shortest_paths import ShortestPathCache
+from ..graph.spanning import dense_mst, prim_mst
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from .tree import RoutingTree
+
+Node = Hashable
+
+
+def kmb_tree_graph(
+    graph: Graph,
+    terminals: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """Run KMB over an explicit terminal list, returning the tree subgraph.
+
+    This low-level entry point is what IGMST calls with ``N ∪ S`` — the
+    source/sink structure of the net is irrelevant to KMB itself.
+    """
+    terminals = list(dict.fromkeys(terminals))  # dedupe, keep order
+    if len(terminals) == 1:
+        g = Graph()
+        g.add_node(terminals[0])
+        return g
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    closure = DistanceGraph(cache, terminals)
+    # Step 2: MST over the metric closure, expanded back into G.
+    mst_edges, _ = dense_mst(closure.matrix, terminals)
+    expanded = closure.expand_edges((u, v) for u, v, _ in mst_edges)
+    # Step 3: MST of the expanded subgraph, then pendant pruning.
+    tree_edges, _ = prim_mst(expanded)
+    tree = Graph()
+    for t in terminals:
+        tree.add_node(t)
+    for u, v, w in tree_edges:
+        tree.add_edge(u, v, w)
+    prune_non_terminal_leaves(tree, terminals)
+    return tree
+
+
+def kmb_cost(
+    graph: Graph,
+    terminals: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> float:
+    """Cost of the KMB solution over ``terminals`` (ΔH evaluations)."""
+    return kmb_tree_graph(graph, terminals, cache).total_weight()
+
+
+def kmb(
+    graph: Graph, net: Net, cache: Optional[ShortestPathCache] = None
+) -> RoutingTree:
+    """KMB solution for a net, as a validated :class:`RoutingTree`."""
+    tree = kmb_tree_graph(graph, net.terminals, cache)
+    return RoutingTree(net=net, tree=tree, algorithm="KMB").validate(
+        host=graph
+    )

@@ -1,0 +1,140 @@
+"""Routing-tree result type shared by all heuristics.
+
+Every algorithm in the paper returns "a tree T ⊆ G which spans N"; the
+two families differ only in what they optimize (wirelength for GMST,
+pathlength-then-wirelength for GSA).  :class:`RoutingTree` wraps the tree
+subgraph together with its net and exposes the two quantities Table 1
+reports: total wirelength (``cost``) and maximum source–sink pathlength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..graph.core import Graph
+from ..graph.validation import (
+    assert_valid_steiner_tree,
+    tree_paths_from,
+)
+from ..net import Net
+
+Node = Hashable
+
+
+@dataclass
+class RoutingTree:
+    """A validated routing solution for one net.
+
+    Attributes
+    ----------
+    net:
+        The routed net (source + sinks).
+    tree:
+        The tree subgraph of the routing graph.  Its node set may include
+        Steiner nodes from ``V − N``.
+    algorithm:
+        Short name of the producing heuristic (``"KMB"``, ``"IDOM"``, ...)
+        for reporting.
+    steiner_nodes:
+        The Steiner candidates the iterated constructions accepted, in
+        acceptance order (empty for non-iterated heuristics).
+    """
+
+    net: Net
+    tree: Graph
+    algorithm: str = ""
+    steiner_nodes: Tuple[Node, ...] = ()
+    _dist_cache: Optional[Dict[Node, float]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def validate(self, host: Optional[Graph] = None) -> "RoutingTree":
+        """Assert the tree spans the net (and lies in ``host`` if given)."""
+        assert_valid_steiner_tree(self.tree, self.net.terminals, host)
+        return self
+
+    @property
+    def cost(self) -> float:
+        """Total wirelength: sum of tree edge weights."""
+        return self.tree.total_weight()
+
+    def _source_distances(self) -> Dict[Node, float]:
+        if self._dist_cache is None:
+            dist, _ = tree_paths_from(self.tree, self.net.source)
+            self._dist_cache = dist
+        return self._dist_cache
+
+    def pathlength(self, sink: Node) -> float:
+        """Source→sink pathlength inside the tree."""
+        dist = self._source_distances()
+        if sink not in dist:
+            raise GraphError(f"sink {sink!r} not reachable in tree")
+        return dist[sink]
+
+    @property
+    def max_pathlength(self) -> float:
+        """max over sinks of the in-tree source→sink pathlength.
+
+        Table 1 normalizes this quantity against the graph-optimal value
+        ``max_i minpath_G(n0, n_i)``.
+        """
+        return max(self.pathlength(s) for s in self.net.sinks)
+
+    @property
+    def total_pathlength(self) -> float:
+        """Sum over sinks of in-tree pathlengths (a secondary delay proxy)."""
+        return sum(self.pathlength(s) for s in self.net.sinks)
+
+    def path_to(self, sink: Node) -> List[Node]:
+        """The unique tree path from the source to ``sink``."""
+        _, pred = tree_paths_from(self.tree, self.net.source)
+        if sink != self.net.source and sink not in pred:
+            raise GraphError(f"sink {sink!r} not reachable in tree")
+        path = [sink]
+        node = sink
+        while node != self.net.source:
+            node = pred[node]
+            path.append(node)
+        path.reverse()
+        return path
+
+    def edges(self) -> List[Tuple[Node, Node, float]]:
+        """Tree edges as ``(u, v, w)`` triples."""
+        return list(self.tree.edges())
+
+    def is_arborescence(self, graph: Graph, cache=None, tol: float = 1e-9) -> bool:
+        """True iff every sink's tree pathlength equals ``minpath_G``.
+
+        This is the defining GSA constraint
+        ``minpath_T(n0, n_i) = minpath_G(n0, n_i)`` from Section 2.
+        """
+        from ..graph.shortest_paths import ShortestPathCache
+
+        if cache is None:
+            cache = ShortestPathCache(graph)
+        for sink in self.net.sinks:
+            opt = cache.dist(self.net.source, sink)
+            if self.pathlength(sink) > opt + tol:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingTree({self.algorithm or 'tree'}, net={self.net.name!r}, "
+            f"cost={self.cost:.3f}, maxpath={self.max_pathlength:.3f})"
+        )
+
+
+def tree_from_edges(
+    graph: Graph, edge_list, net: Net, algorithm: str = "",
+    steiner_nodes: Tuple[Node, ...] = (),
+) -> RoutingTree:
+    """Build and validate a :class:`RoutingTree` from host-graph edges."""
+    sub = graph.edge_subgraph((u, v) for u, v, *_ in edge_list)
+    for t in net.terminals:
+        sub.add_node(t)
+    return RoutingTree(
+        net=net, tree=sub, algorithm=algorithm, steiner_nodes=steiner_nodes
+    ).validate(host=graph)

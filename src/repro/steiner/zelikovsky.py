@@ -1,0 +1,159 @@
+"""Zelikovsky's 11/6-approximation for the graph Steiner problem [39].
+
+Appendix 8.2 of the paper.  The heuristic repeatedly finds a *triple* of
+terminals whose best meeting node ("Steiner point of the triple") yields
+a positive *win* over the current distance-graph MST, contracts the
+triple, and finally hands the accumulated Steiner points to KMB.
+
+Two pseudocode bugs in the paper's Figure 18 are corrected here, as
+documented in DESIGN.md §4:
+
+* ``v_z`` must *minimize* ``Σ_{s∈z} dist_G(s, v)`` (the figure says
+  "maximizes", contradicting both the prose — "the Steiner point which
+  will produce the greatest savings" — and [39]);
+* a contraction is accepted only for strictly positive ``win`` (the
+  figure's ``win ≤ 0`` return combined with the prose's ``win ≥ 0`` loop
+  guard would allow infinite zero-win loops).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graph.core import Graph
+from ..graph.distance_graph import DistanceGraph
+from ..graph.shortest_paths import ShortestPathCache
+from ..graph.spanning import mst_cost
+from ..graph.validation import prune_non_terminal_leaves
+from ..net import Net
+from .kmb import kmb_tree_graph
+from .tree import RoutingTree
+
+Node = Hashable
+INF = float("inf")
+
+
+def _best_meeting_node(
+    cache: ShortestPathCache, triple: Tuple[Node, Node, Node]
+) -> Tuple[Optional[Node], float]:
+    """The node v minimizing Σ_{s∈triple} minpath_G(s, v), and that sum.
+
+    Uses the three terminal-rooted SSSPs, so the scan is O(|V|) per
+    triple with no additional Dijkstra runs.
+    """
+    a, b, c = triple
+    da, _ = cache.sssp(a)
+    db, _ = cache.sssp(b)
+    dc, _ = cache.sssp(c)
+    best_node: Optional[Node] = None
+    best_sum = INF
+    for v, dav in da.items():
+        dbv = db.get(v)
+        if dbv is None:
+            continue
+        dcv = dc.get(v)
+        if dcv is None:
+            continue
+        total = dav + dbv + dcv
+        if total < best_sum:
+            best_sum = total
+            best_node = v
+    return best_node, best_sum
+
+
+def _contract(
+    matrix: Dict[Node, Dict[Node, float]], triple: Tuple[Node, Node, Node]
+) -> Dict[Node, Dict[Node, float]]:
+    """Copy of ``matrix`` with the triple's internal edges zeroed.
+
+    Zeroing all three pairwise distances is MST-equivalent to the paper's
+    "setting to zero the edge weights of two of the three edges": either
+    way the triple costs nothing to connect internally.
+    """
+    contracted = {u: dict(row) for u, row in matrix.items()}
+    for u, v in combinations(triple, 2):
+        contracted[u][v] = 0.0
+        contracted[v][u] = 0.0
+    return contracted
+
+
+def zel_steiner_points(
+    graph: Graph,
+    terminals: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> List[Node]:
+    """The Steiner points ZEL's greedy contraction loop accumulates.
+
+    Exposed separately so IZEL (the iterated wrapper) and tests can
+    inspect the contraction sequence.
+    """
+    terminals = list(dict.fromkeys(terminals))
+    if len(terminals) < 3:
+        return []
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    closure = DistanceGraph(cache, terminals)
+    matrix = {u: dict(row) for u, row in closure.matrix.items()}
+
+    # Pre-compute the best meeting node of every triple once: contractions
+    # change G' but not G, so v_z and dist_z never change.
+    triple_info: Dict[Tuple[Node, Node, Node], Tuple[Optional[Node], float]] = {}
+    for triple in combinations(terminals, 3):
+        triple_info[triple] = _best_meeting_node(cache, triple)
+
+    chosen: List[Node] = []
+    while True:
+        base = mst_cost(matrix, terminals)
+        best_win = 0.0
+        best_triple: Optional[Tuple[Node, Node, Node]] = None
+        for triple, (v_z, dist_z) in triple_info.items():
+            if v_z is None:
+                continue
+            win = base - mst_cost(_contract(matrix, triple), terminals) - dist_z
+            if win > best_win + 1e-12:
+                best_win = win
+                best_triple = triple
+        if best_triple is None:
+            return chosen
+        matrix = _contract(matrix, best_triple)
+        v_z = triple_info[best_triple][0]
+        if v_z is not None and v_z not in chosen:
+            chosen.append(v_z)
+
+
+def zel_tree_graph(
+    graph: Graph,
+    terminals: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> Graph:
+    """Full ZEL: contraction loop, then KMB over N plus the chosen points."""
+    if cache is None:
+        cache = ShortestPathCache(graph)
+    points = zel_steiner_points(graph, terminals, cache)
+    spanned = list(dict.fromkeys(list(terminals) + points))
+    tree = kmb_tree_graph(graph, spanned, cache)
+    # A chosen v_z that KMB ends up using only as a leaf contributes pure
+    # cost; prune back to the real terminal set (strictly improving, and
+    # the result still spans N as the problem statement requires).
+    prune_non_terminal_leaves(tree, terminals)
+    return tree
+
+
+def zel_cost(
+    graph: Graph,
+    terminals: Sequence[Node],
+    cache: Optional[ShortestPathCache] = None,
+) -> float:
+    """Cost of the ZEL solution over ``terminals``."""
+    return zel_tree_graph(graph, terminals, cache).total_weight()
+
+
+def zel(
+    graph: Graph, net: Net, cache: Optional[ShortestPathCache] = None
+) -> RoutingTree:
+    """ZEL solution for a net, as a validated :class:`RoutingTree`."""
+    tree = zel_tree_graph(graph, net.terminals, cache)
+    return RoutingTree(net=net, tree=tree, algorithm="ZEL").validate(
+        host=graph
+    )

@@ -1,0 +1,16 @@
+"""Visualization: text and SVG rendering of routed FPGAs (Figure 16)."""
+
+from .ascii_fpga import (
+    channel_occupancy,
+    occupancy_histogram,
+    render_occupancy,
+)
+from .svg import render_svg, save_svg
+
+__all__ = [
+    "channel_occupancy",
+    "occupancy_histogram",
+    "render_occupancy",
+    "render_svg",
+    "save_svg",
+]

@@ -1,0 +1,105 @@
+"""Text rendering of FPGAs and routing solutions (Figure 16).
+
+The renderer draws the logic-block array with channel-occupancy
+annotations: each channel span shows how many of its W tracks were
+consumed by the routing — a compact, terminal-friendly equivalent of
+the paper's busc routing plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..fpga.architecture import Architecture
+from ..fpga.routing_graph import RoutingResourceGraph
+from ..graph.core import edge_key
+from ..router.result import RoutingResult
+
+GroupKey = Tuple[str, int, int]
+
+
+def channel_occupancy(
+    result: RoutingResult, arch: Architecture
+) -> Dict[GroupKey, int]:
+    """Tracks consumed per channel span by a complete routing.
+
+    Re-derives span usage from the committed net routes: every
+    wire-segment edge a net used consumes one track of its span.
+    """
+    rrg = RoutingResourceGraph(arch)
+    counts: Dict[GroupKey, int] = {}
+    for route in result.routes:
+        for u, v, _ in route.edges:
+            info = rrg.segment_info(u, v)
+            if info is not None:
+                counts[info.group] = counts.get(info.group, 0) + 1
+    return counts
+
+
+def render_occupancy(
+    result: RoutingResult,
+    arch: Architecture,
+    show_numbers: bool = True,
+) -> str:
+    """ASCII map of the array with per-span track usage.
+
+    Logic blocks are drawn as ``[]``; horizontal/vertical channel spans
+    show their consumed-track count (or ``.`` when untouched).  Spans
+    at full capacity render as ``#`` — the congestion hot spots that
+    force the channel width.
+    """
+    counts = channel_occupancy(result, arch)
+    w = arch.channel_width
+
+    def mark(group: GroupKey) -> str:
+        used = counts.get(group, 0)
+        if used == 0:
+            return " . "
+        if used >= w:
+            return " # "
+        if show_numbers:
+            return f"{used:^3d}"
+        return " * "
+
+    lines: List[str] = []
+    header = (
+        f"{result.circuit}: {arch.name} {arch.cols}x{arch.rows}, "
+        f"W={w}, algorithm={result.algorithm}, "
+        f"nets={result.num_routed}, passes={result.passes_used}"
+    )
+    lines.append(header)
+    lines.append("")
+    # draw from the top row (y = rows) down, alternating channel rows
+    # and block rows
+    for y in range(arch.rows, -1, -1):
+        # horizontal channel y: spans x = 0..cols-1
+        chan = "+" + "+".join(mark(("H", x, y)) for x in range(arch.cols))
+        lines.append(chan + "+")
+        if y > 0:
+            by = y - 1
+            row_cells = []
+            for x in range(arch.cols + 1):
+                row_cells.append(mark(("V", x, by)))
+                if x < arch.cols:
+                    row_cells.append("[]")
+            lines.append("".join(row_cells))
+    legend = (
+        "legend: [] logic block, . empty span, n tracks used, "
+        "# span at full capacity"
+    )
+    lines.append("")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def occupancy_histogram(
+    result: RoutingResult, arch: Architecture
+) -> Dict[int, int]:
+    """How many channel spans used exactly k tracks (0..W)."""
+    counts = channel_occupancy(result, arch)
+    total_spans = (arch.rows + 1) * arch.cols + (arch.cols + 1) * arch.rows
+    hist = {k: 0 for k in range(arch.channel_width + 1)}
+    for used in counts.values():
+        hist[min(used, arch.channel_width)] += 1
+    hist[0] = total_spans - sum(v for k, v in hist.items() if k > 0)
+    return hist

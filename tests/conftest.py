@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import Graph, grid_graph, random_connected_graph
+from repro.net import Net
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_grid():
+    """A 6x6 unit grid graph."""
+    return grid_graph(6, 6)
+
+
+@pytest.fixture
+def medium_grid():
+    """A 10x10 unit grid graph."""
+    return grid_graph(10, 10)
+
+
+@pytest.fixture
+def triangle_graph():
+    """A 4-node diamond with a profitable Steiner point.
+
+    Terminals A, B, C sit around hub S; direct edges cost 3 each while
+    the hub path costs 2+2, so the optimal 3-terminal Steiner tree uses
+    the hub (cost 6 vs 6 via two direct edges... weights chosen so the
+    hub strictly wins: direct edges cost 5, hub spokes cost 2).
+    """
+    g = Graph()
+    for t in ("A", "B", "C"):
+        g.add_edge(t, "S", 2.0)
+    g.add_edge("A", "B", 5.0)
+    g.add_edge("B", "C", 5.0)
+    g.add_edge("A", "C", 5.0)
+    return g
+
+
+@pytest.fixture
+def path_graph():
+    """A simple weighted path a-b-c-d-e with unit edges."""
+    g = Graph()
+    for u, v in zip("abcd", "bcde"):
+        g.add_edge(u, v, 1.0)
+    return g
+
+
+def random_instance(seed: int, num_pins: int = 4, size: int = 8):
+    """A (graph, net) pair on a small congested grid — helper, not fixture."""
+    rnd = random.Random(seed)
+    g = grid_graph(size, size)
+    # random perturbation of weights to break ties and model congestion
+    for u, v, _ in list(g.edges()):
+        g.set_weight(u, v, 1.0 + rnd.random())
+    nodes = list(g.nodes)
+    pins = rnd.sample(nodes, num_pins)
+    return g, Net(source=pins[0], sinks=tuple(pins[1:]))

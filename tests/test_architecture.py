@@ -1,0 +1,132 @@
+"""Tests for the FPGA architecture model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.fpga import (
+    Architecture,
+    SIDE_PAIRS,
+    XC3000_FAMILY,
+    XC4000_FAMILY,
+    xc3000,
+    xc4000,
+)
+
+
+class TestArchitectureValidation:
+    def test_defaults(self):
+        a = Architecture(rows=4, cols=5, channel_width=3)
+        assert a.num_blocks == 20
+        assert a.effective_fc == 3  # fc=0 means "W"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rows": 0, "cols": 1, "channel_width": 1},
+            {"rows": 1, "cols": 1, "channel_width": 0},
+            {"rows": 1, "cols": 1, "channel_width": 2, "fs": 0},
+            {"rows": 1, "cols": 1, "channel_width": 2, "fc": 3},
+            {"rows": 1, "cols": 1, "channel_width": 2, "pins_per_block": 0},
+            {"rows": 1, "cols": 1, "channel_width": 2, "segment_weight": 0},
+            {"rows": 1, "cols": 1, "channel_width": 2, "switch_weight": -1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ArchitectureError):
+            Architecture(**kwargs)
+
+    def test_with_channel_width(self):
+        a = xc4000(4, 4, 6)
+        b = a.with_channel_width(9)
+        assert b.channel_width == 9
+        assert b.rows == a.rows
+
+
+class TestSwitchPattern:
+    def test_fs3_is_disjoint(self):
+        a = Architecture(rows=2, cols=2, channel_width=4, fs=3)
+        for pair in SIDE_PAIRS:
+            pattern = a.switch_pattern(*pair)
+            assert pattern == [(t, t) for t in range(4)]
+
+    def test_fs6_two_per_side(self):
+        a = Architecture(rows=2, cols=2, channel_width=4, fs=6)
+        pattern = a.switch_pattern("W", "E")
+        # each track connects to itself and the next track
+        assert (0, 0) in pattern and (0, 1) in pattern
+        assert len(pattern) == 8
+
+    def test_total_fanout_matches_fs(self):
+        # sum of per-pair fanout over a wire's three side pairs == fs
+        for fs in (3, 4, 5, 6):
+            a = Architecture(rows=2, cols=2, channel_width=5, fs=fs)
+            w_pairs = [p for p in SIDE_PAIRS if "W" in p]
+            total = 0
+            for pair in w_pairs:
+                pattern = a.switch_pattern(*pair)
+                # connections of track 0 on side W
+                if pair[0] == "W":
+                    total += sum(1 for ta, _ in pattern if ta == 0)
+                else:
+                    total += sum(1 for _, tb in pattern if tb == 0)
+            assert total == fs, f"fs={fs}"
+
+    def test_bad_pair_rejected(self):
+        a = Architecture(rows=2, cols=2, channel_width=2)
+        with pytest.raises(ArchitectureError):
+            a.switch_pattern("N", "N")
+
+
+class TestPins:
+    def test_round_robin_sides(self):
+        a = Architecture(rows=2, cols=2, channel_width=2, pins_per_block=8)
+        assert [a.pin_side(i) for i in range(4)] == ["N", "E", "S", "W"]
+        assert a.pin_side(4) == "N"
+
+    def test_pin_index_range(self):
+        a = Architecture(rows=2, cols=2, channel_width=2, pins_per_block=4)
+        with pytest.raises(ArchitectureError):
+            a.pin_side(4)
+
+    def test_pin_tracks_count_is_fc(self):
+        a = Architecture(rows=2, cols=2, channel_width=6, fc=3)
+        for p in range(a.pins_per_block):
+            tracks = a.pin_tracks(p)
+            assert len(tracks) == 3
+            assert len(set(tracks)) == 3
+            assert all(0 <= t < 6 for t in tracks)
+
+    def test_pin_tracks_staggered(self):
+        a = Architecture(
+            rows=2, cols=2, channel_width=8, fc=2, pins_per_block=8
+        )
+        starts = {tuple(a.pin_tracks(p)) for p in range(8)}
+        assert len(starts) > 1  # different pins reach different tracks
+
+
+class TestPresets:
+    def test_xc3000(self):
+        a = xc3000(12, 13, 10)
+        assert a.fs == 6
+        assert a.fc == math.ceil(0.6 * 10)
+        assert a.name == "xc3000"
+
+    def test_xc4000(self):
+        a = xc4000(10, 9, 7)
+        assert a.fs == 3
+        assert a.fc == 7
+        assert a.name == "xc4000"
+
+    def test_families(self):
+        a = XC3000_FAMILY.at(4, 5, 10)
+        assert a.rows == 4 and a.cols == 5 and a.fc == 6
+        b = XC4000_FAMILY.at(4, 5, 10)
+        assert b.fc == 10
+
+    def test_xc3000_fc_scales_with_width(self):
+        assert xc3000(4, 4, 5).fc == 3
+        assert xc3000(4, 4, 10).fc == 6

@@ -1,0 +1,108 @@
+"""Property-based tests of the architecture model (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import Architecture, SIDE_PAIRS
+from repro.fpga.routing_graph import RoutingResourceGraph
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+class TestSwitchPatternProperties:
+    @SETTINGS
+    @given(
+        fs=st.integers(min_value=1, max_value=9),
+        w=st.integers(min_value=1, max_value=8),
+    )
+    def test_per_wire_fanout_equals_fs(self, fs, w):
+        """In a full (4-sided) switch block, every wire end connects to
+        exactly min(fs, reachable) other wire ends."""
+        arch = Architecture(rows=2, cols=2, channel_width=w, fs=fs)
+        # count the connections of track 0 on side W across its 3 pairs
+        total = 0
+        for pair in SIDE_PAIRS:
+            if "W" not in pair:
+                continue
+            pattern = arch.switch_pattern(*pair)
+            if pair[0] == "W":
+                total += sum(1 for ta, _ in pattern if ta == 0)
+            else:
+                total += sum(1 for _, tb in pattern if tb == 0)
+        # expected: base fs//3 per pair, +1 for boosted pairs, capped
+        # at W connectable tracks per side.  Side W participates in
+        # SIDE_PAIRS indices 0 (W,E), 2 (W,N) and 3 (W,S).
+        boosted = ((), (0, 1), (0, 1, 2, 5))[fs % 3]
+        expected = sum(
+            min(fs // 3 + (1 if idx in boosted else 0), w)
+            for idx in (0, 2, 3)
+        )
+        assert total == expected
+
+    @SETTINGS
+    @given(
+        fs=st.integers(min_value=1, max_value=9),
+        w=st.integers(min_value=1, max_value=6),
+    )
+    def test_patterns_within_track_range(self, fs, w):
+        arch = Architecture(rows=2, cols=2, channel_width=w, fs=fs)
+        for pair in SIDE_PAIRS:
+            for ta, tb in arch.switch_pattern(*pair):
+                assert 0 <= ta < w and 0 <= tb < w
+
+
+class TestRoutingGraphProperties:
+    @SETTINGS
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+        w=st.integers(min_value=1, max_value=3),
+    )
+    def test_graph_sizes_match_formulas(self, rows, cols, w):
+        arch = Architecture(
+            rows=rows, cols=cols, channel_width=w, pins_per_block=4
+        )
+        rrg = RoutingResourceGraph(arch)
+        h_segments = (rows + 1) * cols * w
+        v_segments = (cols + 1) * rows * w
+        junctions = 2 * (h_segments + v_segments)
+        pins = rows * cols * 4
+        assert rrg.graph.num_nodes == junctions + pins
+        segment_edges = sum(
+            1 for u, v, _ in rrg.graph.edges()
+            if rrg.segment_info(u, v) is not None
+        )
+        assert segment_edges == h_segments + v_segments
+
+    @SETTINGS
+    @given(
+        rows=st.integers(min_value=2, max_value=4),
+        cols=st.integers(min_value=2, max_value=4),
+        w=st.integers(min_value=1, max_value=3),
+    )
+    def test_graph_always_connected(self, rows, cols, w):
+        arch = Architecture(
+            rows=rows, cols=cols, channel_width=w, pins_per_block=4
+        )
+        rrg = RoutingResourceGraph(arch)
+        assert rrg.graph.is_connected()
+
+    @SETTINGS
+    @given(
+        w=st.integers(min_value=1, max_value=5),
+        fc=st.integers(min_value=1, max_value=5),
+    )
+    def test_pin_degree_is_2fc(self, w, fc):
+        if fc > w:
+            fc = w
+        arch = Architecture(
+            rows=2, cols=2, channel_width=w, fc=fc, pins_per_block=4
+        )
+        rrg = RoutingResourceGraph(arch)
+        from repro.fpga import pin_node
+
+        # each pin taps fc tracks at both segment ends
+        assert rrg.graph.degree(pin_node(0, 0, 0)) == 2 * fc

@@ -1,0 +1,76 @@
+"""Tests for the BRBC baseline [14] and the radius/cost tradeoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arborescence import (
+    brbc,
+    djka,
+    idom,
+    pfa,
+    radius_cost_curve,
+)
+from repro.errors import GraphError
+from repro.graph import ShortestPathCache, dijkstra, is_tree
+from repro.steiner import kmb
+from tests.conftest import random_instance
+
+
+class TestRadiusGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.25, 0.5, 1.0, 2.0])
+    def test_bounded_radius(self, epsilon):
+        for seed in range(6):
+            g, net = random_instance(seed + 1300, num_pins=5)
+            tree = brbc(g, net, epsilon=epsilon)
+            assert is_tree(tree.tree)
+            dist, _ = dijkstra(g, net.source)
+            for sink in net.sinks:
+                assert tree.pathlength(sink) <= (
+                    (1.0 + epsilon) * dist[sink] + 1e-6
+                )
+
+    def test_epsilon_zero_is_shortest_paths_tree(self):
+        for seed in range(5):
+            g, net = random_instance(seed + 1350, num_pins=5)
+            tree = brbc(g, net, epsilon=0.0)
+            assert tree.is_arborescence(g)
+
+    def test_negative_epsilon_rejected(self):
+        g, net = random_instance(0, num_pins=3)
+        with pytest.raises(GraphError):
+            brbc(g, net, epsilon=-0.1)
+
+
+class TestTradeoff:
+    def test_curve_structure(self):
+        g, net = random_instance(9, num_pins=6)
+        curve = radius_cost_curve(g, net, [0.0, 0.5, 1.0, 4.0])
+        # radius ratio bounded by 1 + epsilon everywhere
+        for eps, cost, ratio in curve:
+            assert ratio <= 1.0 + eps + 1e-6
+        # at the loose end, cost approaches the Steiner tree's
+        loose_cost = curve[-1][1]
+        assert loose_cost <= curve[0][1] + 1e-9
+
+    def test_paper_claim_pfa_idom_beat_brbc0(self):
+        """§2: tuned fully to pathlength, BRBC = Dijkstra's tree; the
+        paper's arborescences achieve the same optimal radius with less
+        wirelength (aggregate over instances)."""
+        total_brbc0 = total_pfa = total_idom = total_djka = 0.0
+        for seed in range(8):
+            g, net = random_instance(seed + 1400, num_pins=6)
+            cache = ShortestPathCache(g)
+            total_brbc0 += brbc(g, net, epsilon=0.0, cache=cache).cost
+            total_pfa += pfa(g, net, cache).cost
+            total_idom += idom(g, net, cache=cache).cost
+            total_djka += djka(g, net, cache).cost
+        assert total_pfa <= total_brbc0 + 1e-6
+        assert total_idom <= total_brbc0 + 1e-6
+
+    def test_brbc_never_cheaper_than_steiner(self):
+        for seed in range(5):
+            g, net = random_instance(seed + 1450, num_pins=5)
+            assert brbc(g, net, epsilon=0.5).cost >= (
+                kmb(g, net).cost * 0.8  # sanity: same order of magnitude
+            )

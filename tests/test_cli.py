@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCircuits:
+    def test_lists_all(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        for name in ("busc", "z03", "alu4", "alu2"):
+            assert name in out
+
+
+class TestNet:
+    def test_runs_all_algorithms(self, capsys):
+        assert main(["net", "--grid", "10", "--pins", "4",
+                     "--congestion", "3"]) == 0
+        out = capsys.readouterr().out
+        for algo in ("KMB", "IZEL", "DJKA", "IDOM"):
+            assert algo in out
+
+
+class TestTable1:
+    def test_small_run(self, capsys):
+        assert main(
+            ["table1", "--trials", "1", "--grid", "8", "--no-published"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "IDOM" in out
+
+
+class TestWidth:
+    def test_compare(self, capsys):
+        assert main(
+            ["width", "term1", "--fraction", "0.15",
+             "--algorithms", "kmb", "two_pin"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kmb" in out and "two_pin" in out
+
+    def test_unknown_circuit(self, capsys):
+        assert main(["width", "nosuch"]) == 1
+        assert "unknown circuit" in capsys.readouterr().err
+
+
+class TestRoute:
+    def test_route_with_map_and_svg(self, capsys, tmp_path):
+        svg = tmp_path / "out.svg"
+        assert main(
+            ["route", "term1", "--fraction", "0.15",
+             "--algorithm", "kmb", "--map", "--svg", str(svg)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "complete routing at W=" in out
+        assert "legend" in out
+        assert svg.stat().st_size > 500
+
+    def test_bad_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["route", "term1", "--algorithm", "bogus"])

@@ -1,0 +1,143 @@
+"""Tests for the Elmore-delay evaluation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    RCParameters,
+    compare_delay,
+    elmore_delays,
+    max_sink_delay,
+    routing_tree_delay,
+)
+from repro.arborescence import djka, idom, pfa
+from repro.errors import GraphError
+from repro.graph import Graph, grid_graph
+from repro.net import Net
+from repro.steiner import kmb
+from tests.conftest import random_instance
+
+
+def path_tree(lengths):
+    """A path source - a - b - ... with the given edge lengths."""
+    g = Graph()
+    nodes = ["n0"] + [f"v{i}" for i in range(len(lengths))]
+    for (u, v), w in zip(zip(nodes, nodes[1:]), lengths):
+        g.add_edge(u, v, w)
+    return g, nodes
+
+
+class TestRCParameters:
+    def test_defaults(self):
+        rc = RCParameters()
+        assert rc.unit_resistance == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            RCParameters(sink_load=-1.0)
+
+
+class TestElmoreOnPaths:
+    def test_single_segment_hand_computed(self):
+        # driver R=1 drives wire of length 2 (r=2, c=2) into load 1:
+        # T(root) = 1 * (2 + 1) = 3
+        # T(sink) = 3 + 2 * (2/2 + 1) = 3 + 4 = 7
+        g, nodes = path_tree([2.0])
+        net = Net(source="n0", sinks=(nodes[-1],))
+        delays = elmore_delays(g, net)
+        assert delays["n0"] == pytest.approx(3.0)
+        assert delays[nodes[-1]] == pytest.approx(7.0)
+
+    def test_delay_monotone_along_path(self):
+        g, nodes = path_tree([1.0, 1.0, 1.0])
+        net = Net(source="n0", sinks=(nodes[-1],))
+        delays = elmore_delays(g, net)
+        vals = [delays[n] for n in nodes]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_longer_wire_slower(self):
+        g1, n1 = path_tree([1.0])
+        g2, n2 = path_tree([4.0])
+        d1 = max_sink_delay(g1, Net(source="n0", sinks=(n1[-1],)))
+        d2 = max_sink_delay(g2, Net(source="n0", sinks=(n2[-1],)))
+        assert d2 > d1
+
+    def test_quadratic_growth_with_length(self):
+        # unbuffered RC delay grows superlinearly with wire length
+        def delay_for(length):
+            g, nodes = path_tree([float(length)])
+            return max_sink_delay(g, Net(source="n0", sinks=(nodes[-1],)))
+
+        d2 = delay_for(2)
+        d4 = delay_for(4)
+        assert d4 > 2 * d2 * 0.9  # clearly superlinear territory
+
+
+class TestElmoreOnTrees:
+    def test_star_balanced(self):
+        g = Graph()
+        for leaf in ("a", "b", "c"):
+            g.add_edge("n0", leaf, 1.0)
+        net = Net(source="n0", sinks=("a", "b", "c"))
+        delays = elmore_delays(g, net)
+        assert delays["a"] == pytest.approx(delays["b"])
+        assert delays["a"] == pytest.approx(delays["c"])
+
+    def test_side_branch_loads_main_path(self):
+        # adding a branch off the path increases the sink's delay even
+        # though the sink's own path is unchanged
+        g1, nodes = path_tree([1.0, 1.0])
+        net1 = Net(source="n0", sinks=(nodes[-1],))
+        base = max_sink_delay(g1, net1)
+        g2, nodes2 = path_tree([1.0, 1.0])
+        g2.add_edge(nodes2[1], "branch", 2.0)
+        net2 = Net(source="n0", sinks=(nodes2[-1], "branch"))
+        loaded = elmore_delays(g2, net2)[nodes2[-1]]
+        assert loaded > base
+
+    def test_missing_source_raises(self):
+        g, nodes = path_tree([1.0])
+        with pytest.raises(GraphError):
+            elmore_delays(g, Net(source="ghost", sinks=(nodes[-1],)))
+
+    def test_disconnected_tree_raises(self):
+        g, nodes = path_tree([1.0])
+        g.add_node("island")
+        with pytest.raises(GraphError):
+            elmore_delays(g, Net(source="n0", sinks=(nodes[-1],)))
+
+
+class TestAlgorithmComparison:
+    def test_arborescences_beat_kmb_on_delay(self):
+        # the technology-sensitive claim: under RC delay, shortest-path
+        # trees win even when they spend more wirelength (aggregate
+        # over instances; KMB's longer source-sink paths dominate)
+        wins = 0
+        trials = 8
+        for seed in range(trials):
+            g, net = random_instance(seed + 1200, num_pins=6, size=10)
+            res = compare_delay(
+                g, net, {"kmb": kmb, "idom": idom}
+            )
+            if res["idom"][1] <= res["kmb"][1] + 1e-9:
+                wins += 1
+        assert wins >= trials // 2 + 1
+
+    def test_routing_tree_delay_wrapper(self):
+        g, net = random_instance(3, num_pins=4)
+        tree = pfa(g, net)
+        assert routing_tree_delay(tree) == pytest.approx(
+            max_sink_delay(tree.tree, net)
+        )
+
+    def test_rc_scaling(self):
+        g, net = random_instance(5, num_pins=4)
+        tree = djka(g, net)
+        fast = routing_tree_delay(
+            tree, RCParameters(driver_resistance=0.1)
+        )
+        slow = routing_tree_delay(
+            tree, RCParameters(driver_resistance=10.0)
+        )
+        assert slow > fast

@@ -1,0 +1,84 @@
+"""Tests for the metric closure (DistanceGraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DisconnectedError
+from repro.graph import (
+    DistanceGraph,
+    Graph,
+    ShortestPathCache,
+    grid_graph,
+    terminal_distances,
+)
+
+
+@pytest.fixture
+def grid_closure(medium_grid):
+    cache = ShortestPathCache(medium_grid)
+    terminals = [(0, 0), (9, 9), (0, 9), (5, 5)]
+    return DistanceGraph(cache, terminals), cache, terminals
+
+
+class TestConstruction:
+    def test_matrix_is_symmetric(self, grid_closure):
+        closure, _, terminals = grid_closure
+        for u in terminals:
+            for v in terminals:
+                if u != v:
+                    assert closure.matrix[u][v] == closure.matrix[v][u]
+
+    def test_distances_are_graph_distances(self, grid_closure):
+        closure, _, _ = grid_closure
+        assert closure.dist((0, 0), (9, 9)) == 18
+        assert closure.dist((0, 0), (5, 5)) == 10
+        assert closure.dist((5, 5), (5, 5)) == 0.0
+
+    def test_disconnected_terminal_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        cache = ShortestPathCache(g)
+        with pytest.raises(DisconnectedError):
+            DistanceGraph(cache, [1, 3])
+
+    def test_candidate_terminal_needs_no_own_sssp(self, medium_grid):
+        # the IGMST optimization: with the net warm, adding one fresh
+        # candidate must not trigger a Dijkstra rooted at the candidate
+        cache = ShortestPathCache(medium_grid)
+        base = [(0, 0), (9, 9), (0, 9)]
+        # warm every base terminal (as IGMST's first ΔH evaluation does)
+        cache.warm(base)
+        DistanceGraph(cache, base + [(4, 4)])
+        assert (4, 4) not in cache.cached_sources()
+        assert len(cache) == len(base)
+
+
+class TestExpansion:
+    def test_expand_edge_is_shortest_path(self, grid_closure):
+        closure, _, _ = grid_closure
+        path = closure.expand_edge((0, 0), (5, 5))
+        assert path[0] == (0, 0) and path[-1] == (5, 5)
+        assert len(path) == 11  # 10 edges
+
+    def test_expand_edges_builds_union(self, grid_closure):
+        closure, _, _ = grid_closure
+        union = closure.expand_edges([((0, 0), (5, 5)), ((0, 0), (0, 9))])
+        assert union.has_node((5, 5))
+        assert union.has_node((0, 9))
+        assert union.is_connected()
+
+    def test_expanded_weights_match_host(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        closure = DistanceGraph(cache, [(0, 0), (3, 3)])
+        union = closure.expand_edges([((0, 0), (3, 3))])
+        for u, v, w in union.edges():
+            assert w == medium_grid.weight(u, v)
+
+
+class TestHelper:
+    def test_terminal_distances(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        matrix = terminal_distances(cache, [(0, 0), (2, 2)])
+        assert matrix[(0, 0)][(2, 2)] == 4

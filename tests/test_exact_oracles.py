@@ -1,0 +1,114 @@
+"""Brute-force cross-checks of the exact solvers on tiny instances.
+
+The Dreyfus–Wagner GMST solver and the tight-edge GSA solver are the
+oracles the rest of the suite leans on; here they are themselves
+verified against exhaustive enumeration on graphs small enough to brute
+force.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.arborescence import optimal_arborescence_cost
+from repro.graph import Graph, UnionFind, dijkstra
+from repro.net import Net
+from repro.steiner import optimal_steiner_cost
+
+INF = float("inf")
+
+
+def brute_force_steiner(graph: Graph, terminals) -> float:
+    """Minimum Steiner tree cost by enumerating edge subsets."""
+    edges = list(graph.edges())
+    terms = set(terminals)
+    best = INF
+    for k in range(len(terms) - 1, len(edges) + 1):
+        if k >= best / min((w for _, _, w in edges if w > 0), default=1):
+            pass  # no useful prune; keep simple
+        for subset in combinations(range(len(edges)), k):
+            cost = sum(edges[i][2] for i in subset)
+            if cost >= best:
+                continue
+            uf = UnionFind()
+            for i in subset:
+                u, v, _ = edges[i]
+                uf.union(u, v)
+            root = next(iter(terms))
+            if all(uf.connected(root, t) for t in terms):
+                best = cost
+    return best
+
+
+def brute_force_arborescence(graph: Graph, net: Net) -> float:
+    """Minimum GSA cost by enumerating edge subsets."""
+    edges = list(graph.edges())
+    d0, _ = dijkstra(graph, net.source)
+    best = INF
+    for k in range(len(net.sinks), len(edges) + 1):
+        for subset in combinations(range(len(edges)), k):
+            cost = sum(edges[i][2] for i in subset)
+            if cost >= best:
+                continue
+            sub = Graph()
+            sub.add_node(net.source)
+            for i in subset:
+                u, v, w = edges[i]
+                sub.add_edge(u, v, w)
+            try:
+                dist, _ = dijkstra(sub, net.source)
+            except Exception:
+                continue
+            ok = all(
+                s in dist and abs(dist[s] - d0[s]) < 1e-9
+                for s in net.sinks
+            )
+            if ok:
+                best = cost
+    return best
+
+
+def tiny_instance(seed: int, nodes: int = 6, extra: int = 3):
+    rng = random.Random(seed)
+    g = Graph()
+    order = list(range(nodes))
+    rng.shuffle(order)
+    for i in range(1, nodes):
+        g.add_edge(order[i], order[rng.randrange(i)],
+                   float(rng.randint(1, 5)))
+    added = 0
+    while added < extra:
+        u, v = rng.randrange(nodes), rng.randrange(nodes)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, float(rng.randint(1, 5)))
+            added += 1
+    pins = rng.sample(range(nodes), 3)
+    return g, Net(source=pins[0], sinks=tuple(pins[1:]))
+
+
+class TestGMSTOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g, net = tiny_instance(seed)
+        exact = optimal_steiner_cost(g, net.terminals)
+        brute = brute_force_steiner(g, net.terminals)
+        assert exact == pytest.approx(brute)
+
+
+class TestGSAOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g, net = tiny_instance(seed + 50)
+        exact = optimal_arborescence_cost(g, net)
+        brute = brute_force_arborescence(g, net)
+        assert exact == pytest.approx(brute)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gsa_at_least_gmst(self, seed):
+        g, net = tiny_instance(seed + 100)
+        assert optimal_arborescence_cost(g, net) >= (
+            optimal_steiner_cost(g, net.terminals) - 1e-9
+        )

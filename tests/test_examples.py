@@ -1,0 +1,61 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The heavier examples (full router flows) are exercised by the benchmark
+harness; here we execute the quick ones as real scripts so documentation
+drift (renamed APIs, changed signatures) fails CI immediately.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "worst_case_gallery.py",
+    "technology_sensitive_routing.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    script = EXAMPLES / name
+    assert script.exists(), f"{name} missing"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-1500:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_all_algorithms():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    for algo in ("KMB", "IKMB", "DJKA", "PFA", "IDOM"):
+        assert algo in proc.stdout
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    expected = {
+        "quickstart.py",
+        "route_fpga_circuit.py",
+        "critical_net_tradeoffs.py",
+        "worst_case_gallery.py",
+        "iterated_steiner_trace.py",
+        "technology_sensitive_routing.py",
+        "three_d_fpga.py",
+    }
+    assert expected <= names

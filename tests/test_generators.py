@@ -1,0 +1,103 @@
+"""Tests for graph and net generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    grid_graph,
+    random_connected_graph,
+    random_net,
+    random_nets,
+)
+
+
+class TestGridGraph:
+    def test_dimensions(self):
+        g = grid_graph(4, 3)
+        assert g.num_nodes == 12
+        # edges: 3*3 horizontal rows? (w-1)*h + w*(h-1)
+        assert g.num_edges == 3 * 3 + 4 * 2
+
+    def test_single_node(self):
+        g = grid_graph(1, 1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_weights(self):
+        g = grid_graph(3, 3, weight=2.5)
+        assert all(w == 2.5 for _, _, w in g.edges())
+
+    def test_four_neighborhood(self):
+        g = grid_graph(5, 5)
+        assert g.degree((2, 2)) == 4
+        assert g.degree((0, 0)) == 2
+        assert g.degree((0, 2)) == 3
+
+
+class TestRandomConnectedGraph:
+    def test_exact_edge_count(self):
+        g = random_connected_graph(30, 100, random.Random(1))
+        assert g.num_nodes == 30
+        assert g.num_edges == 100
+        assert g.is_connected()
+
+    def test_minimum_edges_is_tree(self):
+        g = random_connected_graph(10, 9, random.Random(2))
+        assert g.num_edges == 9
+        assert g.is_connected()
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(10, 8, random.Random(0))
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(5, 11, random.Random(0))
+
+    def test_weight_bounds(self):
+        g = random_connected_graph(
+            20, 50, random.Random(3), min_weight=2.0, max_weight=3.0
+        )
+        assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+    def test_deterministic_given_seed(self):
+        g1 = random_connected_graph(15, 40, random.Random(7))
+        g2 = random_connected_graph(15, 40, random.Random(7))
+        assert sorted(map(repr, g1.edges())) == sorted(map(repr, g2.edges()))
+
+    def test_paper_cpu_instance_size(self):
+        # the §5 CPU-time instances must be constructible
+        g = random_connected_graph(50, 1000, random.Random(4))
+        assert g.num_nodes == 50 and g.num_edges == 1000
+
+
+class TestRandomNets:
+    def test_distinct_pins(self):
+        g = grid_graph(6, 6)
+        net = random_net(g, 5, random.Random(1))
+        assert len(set(net.terminals)) == 5
+
+    def test_pins_in_graph(self):
+        g = grid_graph(6, 6)
+        net = random_net(g, 4, random.Random(2))
+        assert all(g.has_node(t) for t in net.terminals)
+
+    def test_too_many_pins(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(GraphError):
+            random_net(g, 5, random.Random(0))
+
+    def test_batch_generation(self):
+        g = grid_graph(8, 8)
+        nets = random_nets(g, 10, (2, 5), random.Random(3))
+        assert len(nets) == 10
+        assert all(2 <= n.size <= 5 for n in nets)
+        assert all(n.name == f"n{i}" for i, n in enumerate(nets))

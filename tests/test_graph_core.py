@@ -1,0 +1,244 @@
+"""Tests for repro.graph.core (the Graph substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.is_connected()  # vacuously
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2, 3.5)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 3.5
+        assert g.weight(2, 1) == 3.5  # undirected
+
+    def test_add_edge_overwrites_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(1, 2, 9.0)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 9.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge("x", "x", 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -0.5)
+
+    def test_zero_weight_allowed(self):
+        g = Graph()
+        g.add_edge(1, 2, 0.0)
+        assert g.weight(1, 2) == 0.0
+
+    def test_hashable_node_types(self):
+        g = Graph()
+        g.add_edge(("h", 0, 1, 2), "pin", 1.0)
+        g.add_edge("pin", frozenset({1, 2}), 2.0)
+        assert g.num_nodes == 3
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.remove_node(2)
+        assert g.num_edges == 0
+        assert not g.has_node(2)
+        assert g.has_node(1) and g.has_node(3)
+
+    def test_remove_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.remove_node("ghost")
+
+    def test_set_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.set_weight(1, 2, 4.0)
+        assert g.weight(1, 2) == 4.0
+        assert g.weight(2, 1) == 4.0
+
+    def test_set_weight_missing_edge_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.set_weight(1, 2, 1.0)
+
+    def test_scale_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, 2.0)
+        g.scale_weight(1, 2, 1.5)
+        assert g.weight(1, 2) == 3.0
+
+    def test_version_bumps_on_mutation(self):
+        g = Graph()
+        v0 = g.version
+        g.add_edge(1, 2)
+        v1 = g.version
+        assert v1 > v0
+        g.set_weight(1, 2, 2.0)
+        v2 = g.version
+        assert v2 > v1
+        g.remove_edge(1, 2)
+        assert g.version > v2
+
+    def test_version_not_bumped_by_queries(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        v = g.version
+        _ = g.weight(1, 2)
+        _ = list(g.edges())
+        _ = g.is_connected()
+        assert g.version == v
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "c", 2.0)
+        assert sorted(g.neighbors("a")) == ["b", "c"]
+        assert dict(g.neighbor_items("a")) == {"b": 1.0, "c": 2.0}
+
+    def test_neighbors_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            list(g.neighbors("nope"))
+
+    def test_degree(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.degree(1) == 2
+        assert g.degree(2) == 1
+
+    def test_edges_iterates_each_edge_once(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 2.0)
+        g.add_edge(1, 3, 3.0)
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert sum(w for _, _, w in edges) == 6.0
+
+    def test_total_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.5)
+        g.add_edge(2, 3, 2.5)
+        assert g.total_weight() == 4.0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        h = g.copy()
+        h.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not h.has_edge(1, 2)
+
+    def test_subgraph_induced(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert not sub.has_node(4)
+
+    def test_subgraph_ignores_absent_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        sub = g.subgraph([1, 2, 99])
+        assert sub.num_nodes == 2
+
+    def test_edge_subgraph(self):
+        g = Graph()
+        g.add_edge(1, 2, 5.0)
+        g.add_edge(2, 3, 6.0)
+        sub = g.edge_subgraph([(1, 2)])
+        assert sub.has_edge(1, 2)
+        assert sub.weight(1, 2) == 5.0
+        assert not sub.has_node(3)
+
+
+class TestConnectivity:
+    def test_connected_component(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        assert g.connected_component(1) == {1, 2}
+        assert g.connected_component(3) == {3, 4}
+
+    def test_is_connected_full(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.is_connected()
+        g.add_node(99)
+        assert not g.is_connected()
+
+    def test_is_connected_within_subset(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(10, 11)
+        assert g.is_connected(within=[1, 3])
+        assert not g.is_connected(within=[1, 10])
+
+    def test_is_connected_within_uses_full_graph_paths(self):
+        # the subset {1, 3} induces no edges but is connected through 2
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.is_connected(within=[1, 3])
+
+
+class TestEdgeKey:
+    def test_orders_comparable_nodes(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key(1, 2) == (1, 2)
+
+    def test_orders_mixed_nodes_deterministically(self):
+        a = ("h", 1)
+        b = "pin"
+        assert edge_key(a, b) == edge_key(b, a)

@@ -1,0 +1,131 @@
+"""Deeper tests for the IGMST template mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, ShortestPathCache, grid_graph, is_tree
+from repro.net import Net
+from repro.steiner import (
+    KMB_HEURISTIC,
+    MEHLHORN_HEURISTIC,
+    ZEL_HEURISTIC,
+    SteinerHeuristic,
+    igmst,
+    ikmb,
+    kmb,
+    kmb_cost,
+    kmb_tree_graph,
+)
+from tests.conftest import random_instance
+
+
+class TestHeuristicProtocol:
+    def test_builtin_heuristics_consistent(self):
+        g, net = random_instance(60, num_pins=5)
+        cache = ShortestPathCache(g)
+        for h in (KMB_HEURISTIC, ZEL_HEURISTIC, MEHLHORN_HEURISTIC):
+            cost = h.cost_fn(g, net.terminals, cache)
+            tree = h.tree_fn(g, net.terminals, cache)
+            assert cost == pytest.approx(tree.total_weight())
+            assert is_tree(tree)
+
+    def test_custom_heuristic_plugs_in(self):
+        # a deliberately bad heuristic: KMB but doubled cost reporting;
+        # IGMST must still return a valid tree via tree_fn
+        bad = SteinerHeuristic(
+            "BAD",
+            lambda g, t, c: 2 * kmb_cost(g, t, c),
+            kmb_tree_graph,
+        )
+        g, net = random_instance(61, num_pins=4)
+        result = igmst(g, net, heuristic=bad)
+        assert result.algorithm == "IBAD"
+        assert is_tree(result.tree)
+
+
+class TestTemplateMechanics:
+    def test_no_candidates_returns_h(self):
+        g, net = random_instance(62, num_pins=5)
+        cache = ShortestPathCache(g)
+        base = kmb(g, net, cache)
+        result = igmst(g, net, cache=cache, candidates=[])
+        assert result.cost == pytest.approx(base.cost)
+        assert result.steiner_nodes == ()
+
+    def test_candidates_already_terminals_ignored(self):
+        g, net = random_instance(63, num_pins=4)
+        result = igmst(g, net, candidates=list(net.terminals))
+        assert result.steiner_nodes == ()
+
+    def test_trace_gains_match_cost_deltas(self):
+        g, net = random_instance(64, num_pins=6)
+        result = ikmb(g, net, record_trace=True)
+        trace = result.trace
+        prev = trace.initial_cost
+        for node, gain, cost in trace.steps:
+            assert gain == pytest.approx(prev - cost)
+            prev = cost
+
+    def test_rounds_counted(self):
+        g, net = random_instance(65, num_pins=6)
+        result = ikmb(g, net, record_trace=True)
+        # one scan per accepted candidate plus the final empty scan
+        assert result.trace.rounds == len(result.trace.steps) + 1
+
+    def test_neighborhood_radius_widens_pool(self):
+        g, net = random_instance(66, num_pins=5)
+        narrow = ikmb(
+            g, net, candidates="neighborhood", neighborhood_radius=0.3
+        )
+        wide = ikmb(
+            g, net, candidates="neighborhood", neighborhood_radius=1.5
+        )
+        # a wider pool can only match or improve the solution
+        assert wide.cost <= narrow.cost + 1e-9
+
+    def test_steiner_nodes_are_not_terminals(self):
+        for seed in range(5):
+            g, net = random_instance(seed + 67, num_pins=6)
+            result = ikmb(g, net)
+            for s in result.steiner_nodes:
+                assert s not in set(net.terminals)
+
+    def test_deterministic(self):
+        g1, net1 = random_instance(68, num_pins=6)
+        g2, net2 = random_instance(68, num_pins=6)
+        r1 = ikmb(g1, net1, record_trace=True)
+        r2 = ikmb(g2, net2, record_trace=True)
+        assert r1.cost == r2.cost
+        assert r1.steiner_nodes == r2.steiner_nodes
+        assert r1.trace.steps == r2.trace.steps
+
+
+class TestKnownOptimalInstances:
+    def test_single_hub(self):
+        # IKMB must find the unique profitable hub
+        g = Graph()
+        for t in ("A", "B", "C", "D"):
+            g.add_edge(t, "hub", 1.5)
+        for pair in (("A", "B"), ("B", "C"), ("C", "D"), ("D", "A"),
+                     ("A", "C"), ("B", "D")):
+            g.add_edge(*pair, 2.8)
+        net = Net(source="A", sinks=("B", "C", "D"))
+        result = ikmb(g, net)
+        assert result.cost == pytest.approx(6.0)
+        assert result.steiner_nodes == ("hub",)
+
+    def test_two_independent_hubs(self):
+        g = Graph()
+        for c, names in ((1, "ABC"), (2, "DEF")):
+            hub = f"h{c}"
+            for n in names:
+                g.add_edge(n, hub, 1.5)
+            g.add_edge(names[0], names[1], 2.8)
+            g.add_edge(names[1], names[2], 2.8)
+            g.add_edge(names[0], names[2], 2.8)
+        g.add_edge("C", "D", 1.0)
+        net = Net(source="A", sinks=tuple("BCDEF"))
+        result = ikmb(g, net)
+        assert set(result.steiner_nodes) == {"h1", "h2"}
+        assert result.cost == pytest.approx(1.5 * 6 + 1.0)

@@ -1,0 +1,106 @@
+"""Tests for Mehlhorn's fast graph Steiner heuristic [30]."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DisconnectedError, GraphError
+from repro.graph import Graph, grid_graph, is_tree, random_net
+from repro.net import Net
+from repro.steiner import (
+    MEHLHORN_HEURISTIC,
+    igmst,
+    kmb,
+    mehlhorn,
+    mehlhorn_cost,
+    mehlhorn_tree_graph,
+    optimal_steiner_cost,
+    voronoi_regions,
+)
+from tests.conftest import random_instance
+
+
+class TestVoronoi:
+    def test_owners_partition_reachable_nodes(self, medium_grid):
+        terminals = [(0, 0), (9, 9)]
+        owner, dist, pred = voronoi_regions(medium_grid, terminals)
+        assert len(owner) == 100
+        assert owner[(0, 0)] == (0, 0)
+        assert owner[(9, 9)] == (9, 9)
+        assert owner[(1, 1)] == (0, 0)
+        assert owner[(8, 8)] == (9, 9)
+
+    def test_distances_to_nearest_terminal(self, medium_grid):
+        terminals = [(0, 0), (9, 9)]
+        owner, dist, _ = voronoi_regions(medium_grid, terminals)
+        assert dist[(2, 1)] == 3
+        assert dist[(9, 7)] == 2
+        assert dist[(0, 0)] == 0
+
+    def test_missing_terminal_raises(self, medium_grid):
+        with pytest.raises(GraphError):
+            voronoi_regions(medium_grid, [(0, 0), (99, 99)])
+
+    def test_pred_walks_to_terminal(self, medium_grid):
+        terminals = [(0, 0), (9, 9)]
+        owner, dist, pred = voronoi_regions(medium_grid, terminals)
+        node = (3, 2)
+        while dist[node] > 0:
+            node = pred[node]
+        assert node == owner[(3, 2)]
+
+
+class TestMehlhorn:
+    def test_two_terminals_shortest_path(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((6, 3),))
+        assert mehlhorn(medium_grid, net).cost == 9
+
+    def test_valid_steiner_tree(self):
+        for seed in range(8):
+            g, net = random_instance(seed + 900, num_pins=5)
+            tree = mehlhorn(g, net)
+            assert is_tree(tree.tree)
+            for t in net.terminals:
+                assert tree.tree.has_node(t)
+
+    def test_within_2x_optimal(self):
+        for seed in range(8):
+            g, net = random_instance(seed + 950, num_pins=4)
+            opt = optimal_steiner_cost(g, net.terminals)
+            cost = mehlhorn(g, net).cost
+            assert opt - 1e-9 <= cost <= 2 * opt + 1e-9
+
+    def test_quality_close_to_kmb(self):
+        total_m = total_k = 0.0
+        for seed in range(10):
+            g, net = random_instance(seed + 970, num_pins=6)
+            total_m += mehlhorn(g, net).cost
+            total_k += kmb(g, net).cost
+        # Mehlhorn's sparser closure loses a little; stay within 10%
+        assert total_m <= 1.10 * total_k
+
+    def test_single_terminal(self, medium_grid):
+        g = mehlhorn_tree_graph(medium_grid, [(4, 4)])
+        assert g.num_nodes == 1
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(DisconnectedError):
+            mehlhorn_tree_graph(g, [1, 3])
+
+    def test_cost_matches_tree(self, medium_grid):
+        terms = [(0, 0), (9, 9), (5, 2)]
+        assert mehlhorn_cost(medium_grid, terms) == pytest.approx(
+            mehlhorn_tree_graph(medium_grid, terms).total_weight()
+        )
+
+    def test_as_igmst_engine(self):
+        g, net = random_instance(42, num_pins=5)
+        iterated = igmst(g, net, heuristic=MEHLHORN_HEURISTIC)
+        assert iterated.algorithm == "IMEHLHORN"
+        assert iterated.cost <= mehlhorn(g, net).cost + 1e-9
+        assert is_tree(iterated.tree)

@@ -1,0 +1,152 @@
+"""Tests for the multi-weighted graph framework ([4, 7])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import MultiWeightGraph, grid_graph, sweep_tradeoff
+from repro.net import Net
+from repro.steiner import kmb
+
+
+@pytest.fixture
+def mwg():
+    m = MultiWeightGraph(objectives=("wirelength", "congestion"))
+    m.add_edge("a", "b", wirelength=1.0, congestion=5.0)
+    m.add_edge("b", "c", wirelength=2.0, congestion=0.0)
+    m.add_edge("a", "c", wirelength=4.0, congestion=1.0)
+    return m
+
+
+class TestConstruction:
+    def test_objectives_required(self):
+        with pytest.raises(GraphError):
+            MultiWeightGraph(objectives=())
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(GraphError):
+            MultiWeightGraph(objectives=("a", "a"))
+
+    def test_unknown_objective_rejected(self, mwg):
+        with pytest.raises(GraphError):
+            mwg.add_edge("x", "y", jogs=1.0)
+
+    def test_missing_components_default_zero(self):
+        m = MultiWeightGraph(objectives=("w", "c"))
+        m.add_edge(1, 2, w=3.0)
+        assert m.weight_vector(1, 2) == {"w": 3.0, "c": 0.0}
+
+    def test_negative_weight_rejected(self):
+        m = MultiWeightGraph(objectives=("w",))
+        with pytest.raises(GraphError):
+            m.add_edge(1, 2, w=-1.0)
+
+    def test_self_loop_rejected(self):
+        m = MultiWeightGraph(objectives=("w",))
+        with pytest.raises(GraphError):
+            m.add_edge(1, 1, w=1.0)
+
+    def test_counts(self, mwg):
+        assert mwg.num_nodes == 3
+        assert mwg.num_edges == 3
+
+    def test_remove_edge(self, mwg):
+        mwg.remove_edge("a", "b")
+        assert mwg.num_edges == 2
+        with pytest.raises(GraphError):
+            mwg.weight_vector("a", "b")
+
+
+class TestComponents:
+    def test_set_component(self, mwg):
+        mwg.set_component("a", "b", "congestion", 9.0)
+        assert mwg.weight_vector("a", "b")["congestion"] == 9.0
+
+    def test_set_component_validation(self, mwg):
+        with pytest.raises(GraphError):
+            mwg.set_component("a", "b", "jogs", 1.0)
+        with pytest.raises(GraphError):
+            mwg.set_component("a", "b", "congestion", -1.0)
+        with pytest.raises(GraphError):
+            mwg.set_component("x", "y", "congestion", 1.0)
+
+
+class TestScalarization:
+    def test_weighted_sum(self, mwg):
+        g = mwg.scalarize({"wirelength": 1.0, "congestion": 2.0})
+        assert g.weight("a", "b") == pytest.approx(11.0)
+        assert g.weight("b", "c") == pytest.approx(2.0)
+
+    def test_missing_coefficient_is_zero(self, mwg):
+        g = mwg.scalarize({"wirelength": 1.0})
+        assert g.weight("a", "b") == pytest.approx(1.0)
+
+    def test_unknown_coefficient_rejected(self, mwg):
+        with pytest.raises(GraphError):
+            mwg.scalarize({"jogs": 1.0})
+
+    def test_snapshot_semantics(self, mwg):
+        g = mwg.scalarize({"wirelength": 1.0})
+        mwg.set_component("a", "b", "wirelength", 99.0)
+        assert g.weight("a", "b") == pytest.approx(1.0)
+
+    def test_objective_blend_changes_shortest_route(self, mwg):
+        from repro.graph import dijkstra
+
+        wire_only = mwg.scalarize({"wirelength": 1.0})
+        cong_heavy = mwg.scalarize({"wirelength": 1.0, "congestion": 10.0})
+        d_wire, _ = dijkstra(wire_only, "a", targets=["c"])
+        d_cong, _ = dijkstra(cong_heavy, "a", targets=["c"])
+        # wirelength-only prefers a-b-c (3.0); congestion-heavy avoids
+        # the congested a-b edge and takes a-c directly
+        assert d_wire["c"] == pytest.approx(3.0)
+        assert d_cong["c"] == pytest.approx(14.0)
+
+
+class TestTreeCostAndPareto:
+    def test_tree_cost(self, mwg):
+        totals = mwg.tree_cost([("a", "b"), ("b", "c")])
+        assert totals == {"wirelength": 3.0, "congestion": 5.0}
+
+    def test_pareto_dominance(self, mwg):
+        a = [("b", "c")]                 # (2, 0)
+        b = [("a", "c")]                 # (4, 1)
+        assert mwg.pareto_compare(a, b) == -1
+        assert mwg.pareto_compare(b, a) == 1
+        assert mwg.pareto_compare(a, a) == 0
+
+    def test_pareto_incomparable(self, mwg):
+        a = [("a", "b")]                 # (1, 5)
+        b = [("b", "c")]                 # (2, 0)
+        assert mwg.pareto_compare(a, b) is None
+
+
+class TestSweep:
+    def test_tradeoff_curve_monotone(self):
+        rng = random.Random(3)
+        base = grid_graph(8, 8)
+        mwg = MultiWeightGraph(objectives=("wirelength", "congestion"))
+        for u, v, w in base.edges():
+            mwg.add_edge(u, v, wirelength=w, congestion=rng.random())
+        pins = rng.sample(list(base.nodes), 4)
+        net = Net(source=pins[0], sinks=tuple(pins[1:]))
+        curve = sweep_tradeoff(
+            mwg, net, kmb, "wirelength", "congestion",
+            [0.0, 0.25, 0.5, 0.75, 1.0],
+        )
+        wires = [x for _, x, _ in curve]
+        congs = [y for _, _, y in curve]
+        # as lambda shifts toward congestion, wirelength can only grow
+        # and congestion can only shrink (weak monotonicity)
+        assert all(a <= b + 1e-9 for a, b in zip(wires, wires[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(congs, congs[1:]))
+
+    def test_lambda_range_checked(self, mwg):
+        net = Net(source="a", sinks=("c",))
+        with pytest.raises(GraphError):
+            sweep_tradeoff(
+                mwg, net, kmb, "wirelength", "congestion", [1.5]
+            )

@@ -1,0 +1,68 @@
+"""Tests for the Net model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import Net
+
+
+class TestNet:
+    def test_basic(self):
+        net = Net(source=0, sinks=(1, 2))
+        assert net.size == 3
+        assert len(net) == 3
+        assert net.terminals == (0, 1, 2)
+        assert 1 in net and 0 in net and 9 not in net
+
+    def test_iteration(self):
+        net = Net(source="s", sinks=("a", "b"))
+        assert list(net) == ["s", "a", "b"]
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(NetError):
+            Net(source=0, sinks=())
+
+    def test_duplicate_sink_rejected(self):
+        with pytest.raises(NetError):
+            Net(source=0, sinks=(1, 1))
+
+    def test_source_as_sink_rejected(self):
+        with pytest.raises(NetError):
+            Net(source=0, sinks=(0, 1))
+
+    def test_sinks_normalized_to_tuple(self):
+        net = Net(source=0, sinks=[1, 2])
+        assert isinstance(net.sinks, tuple)
+
+    def test_from_terminals(self):
+        net = Net.from_terminals([5, 6, 7], name="n")
+        assert net.source == 5
+        assert net.sinks == (6, 7)
+        assert net.name == "n"
+
+    def test_from_terminals_too_short(self):
+        with pytest.raises(NetError):
+            Net.from_terminals([1])
+
+    def test_relabel_with_dict(self):
+        net = Net(source="a", sinks=("b",))
+        mapped = net.relabel({"a": 1, "b": 2})
+        assert mapped.source == 1 and mapped.sinks == (2,)
+
+    def test_relabel_with_callable(self):
+        net = Net(source=1, sinks=(2, 3), name="x")
+        mapped = net.relabel(lambda n: n * 10)
+        assert mapped.terminals == (10, 20, 30)
+        assert mapped.name == "x"
+
+    def test_name_not_part_of_equality(self):
+        assert Net(source=0, sinks=(1,), name="a") == Net(
+            source=0, sinks=(1,), name="b"
+        )
+
+    def test_frozen(self):
+        net = Net(source=0, sinks=(1,))
+        with pytest.raises(Exception):
+            net.source = 9

@@ -1,0 +1,175 @@
+"""Tests for placed circuits and the synthetic benchmark generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetError
+from repro.fpga import (
+    PlacedCircuit,
+    PlacedNet,
+    XC3000_CIRCUITS,
+    XC4000_CIRCUITS,
+    circuit_spec,
+    scaled_spec,
+    synthesize_circuit,
+)
+
+
+class TestPlacedNet:
+    def test_basic(self):
+        net = PlacedNet("n", source=(0, 0, 0), sinks=((1, 1, 0),))
+        assert net.num_pins == 2
+        assert net.pins == ((0, 0, 0), (1, 1, 0))
+
+    def test_duplicate_pin_rejected(self):
+        with pytest.raises(NetError):
+            PlacedNet("n", source=(0, 0, 0), sinks=((0, 0, 0),))
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(NetError):
+            PlacedNet("n", source=(0, 0, 0), sinks=())
+
+    def test_to_graph_net(self):
+        net = PlacedNet("n", source=(0, 0, 1), sinks=((2, 3, 0),))
+        gnet = net.to_graph_net()
+        assert gnet.source == ("P", 0, 0, 1)
+        assert gnet.sinks == (("P", 2, 3, 0),)
+        assert gnet.name == "n"
+
+    def test_bounding_box_and_hpwl(self):
+        net = PlacedNet(
+            "n", source=(1, 2, 0), sinks=((4, 0, 0), (2, 5, 1))
+        )
+        assert net.bounding_box() == (1, 0, 4, 5)
+        assert net.half_perimeter() == 3 + 5
+
+
+class TestPlacedCircuit:
+    def _circuit(self, nets):
+        return PlacedCircuit(name="c", rows=4, cols=4, nets=nets)
+
+    def test_validate_ok(self):
+        c = self._circuit(
+            [PlacedNet("a", (0, 0, 0), ((1, 1, 0),))]
+        )
+        c.validate(pins_per_block=4)
+
+    def test_out_of_array_rejected(self):
+        c = self._circuit([PlacedNet("a", (0, 0, 0), ((9, 0, 0),))])
+        with pytest.raises(NetError):
+            c.validate(pins_per_block=4)
+
+    def test_pin_slot_out_of_range(self):
+        c = self._circuit([PlacedNet("a", (0, 0, 7), ((1, 1, 0),))])
+        with pytest.raises(NetError):
+            c.validate(pins_per_block=4)
+
+    def test_shared_pin_across_nets_rejected(self):
+        c = self._circuit(
+            [
+                PlacedNet("a", (0, 0, 0), ((1, 1, 0),)),
+                PlacedNet("b", (2, 2, 0), ((1, 1, 0),)),
+            ]
+        )
+        with pytest.raises(NetError):
+            c.validate(pins_per_block=4)
+
+    def test_histogram(self):
+        c = self._circuit(
+            [
+                PlacedNet("a", (0, 0, 0), ((1, 1, 0),)),          # 2 pins
+                PlacedNet(
+                    "b", (2, 2, 0),
+                    tuple((x, y, 1) for x in range(2) for y in range(2)),
+                ),                                                # 5 pins
+            ]
+        )
+        hist = c.pin_histogram()
+        assert hist == {"2-3": 1, "4-10": 1, ">10": 0}
+        assert c.total_pins() == 7
+
+
+class TestPublishedSpecs:
+    def test_table2_totals(self):
+        # the paper's Table 2 totals: 1744 nets = 1268 + 352 + 124
+        assert sum(s.num_nets for s in XC3000_CIRCUITS) == 1744
+        assert sum(s.nets_2_3 for s in XC3000_CIRCUITS) == 1268
+        assert sum(s.nets_4_10 for s in XC3000_CIRCUITS) == 352
+        assert sum(s.nets_over_10 for s in XC3000_CIRCUITS) == 124
+
+    def test_table2_width_totals(self):
+        assert sum(s.published["CGE"] for s in XC3000_CIRCUITS) == 55
+        assert sum(s.published["paper"] for s in XC3000_CIRCUITS) == 45
+
+    def test_table3_totals(self):
+        assert sum(s.num_nets for s in XC4000_CIRCUITS) == 1710
+        assert sum(s.nets_2_3 for s in XC4000_CIRCUITS) == 1154
+        assert sum(s.nets_4_10 for s in XC4000_CIRCUITS) == 454
+        assert sum(s.nets_over_10 for s in XC4000_CIRCUITS) == 102
+
+    def test_table3_width_totals(self):
+        assert sum(s.published["SEGA"] for s in XC4000_CIRCUITS) == 118
+        assert sum(s.published["GBP"] for s in XC4000_CIRCUITS) == 110
+        assert sum(s.published["paper"] for s in XC4000_CIRCUITS) == 94
+
+    def test_table4_width_totals(self):
+        assert sum(s.published["paper_pfa"] for s in XC4000_CIRCUITS) == 110
+        assert sum(s.published["paper_idom"] for s in XC4000_CIRCUITS) == 106
+
+    def test_lookup(self):
+        assert circuit_spec("busc").family == "xc3000"
+        assert circuit_spec("k2").family == "xc4000"
+        with pytest.raises(KeyError):
+            circuit_spec("nope")
+
+
+class TestSynthesis:
+    def test_matches_spec_statistics(self):
+        spec = circuit_spec("busc")
+        circuit = synthesize_circuit(spec, seed=0)
+        hist = circuit.pin_histogram()
+        assert circuit.num_nets == spec.num_nets
+        assert hist["2-3"] == spec.nets_2_3
+        assert hist["4-10"] == spec.nets_4_10
+        assert hist[">10"] == spec.nets_over_10
+        assert circuit.rows == spec.rows and circuit.cols == spec.cols
+
+    def test_deterministic(self):
+        spec = circuit_spec("term1")
+        a = synthesize_circuit(spec, seed=5)
+        b = synthesize_circuit(spec, seed=5)
+        assert [n.pins for n in a.nets] == [n.pins for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        spec = circuit_spec("term1")
+        a = synthesize_circuit(spec, seed=1)
+        b = synthesize_circuit(spec, seed=2)
+        assert [n.pins for n in a.nets] != [n.pins for n in b.nets]
+
+    def test_valid_placement(self):
+        spec = circuit_spec("9symml")
+        circuit = synthesize_circuit(spec, seed=2, pins_per_block=8)
+        circuit.validate(pins_per_block=8)  # raises on any violation
+
+    def test_locality(self):
+        # nets should be local: mean HPWL well below the array diagonal
+        spec = circuit_spec("dma")
+        circuit = synthesize_circuit(spec, seed=1)
+        mean_hpwl = sum(
+            n.half_perimeter() for n in circuit.nets
+        ) / circuit.num_nets
+        assert mean_hpwl < 0.6 * (spec.cols + spec.rows)
+
+    def test_scaled_spec(self):
+        spec = circuit_spec("z03")
+        small = scaled_spec(spec, 0.1)
+        assert small.num_nets < spec.num_nets
+        assert small.cols < spec.cols
+        assert small.published == spec.published
+        # identity at fraction 1
+        assert scaled_spec(spec, 1.0) is spec
+
+    def test_scaled_spec_rejects_bad_fraction(self):
+        with pytest.raises(NetError):
+            scaled_spec(circuit_spec("busc"), 0.0)

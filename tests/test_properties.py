@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the algebraic properties every component must satisfy on
+*arbitrary* inputs: metric properties of shortest paths, tree-ness and
+spanning of every heuristic's output, the GSA pathlength constraint,
+bound relationships between heuristics and exact optima, and the
+dominance relation's defining equalities.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arborescence import (
+    DominanceOracle,
+    djka,
+    dom,
+    idom,
+    optimal_arborescence_cost,
+    pfa,
+)
+from repro.graph import (
+    Graph,
+    ShortestPathCache,
+    dijkstra,
+    grid_graph,
+    is_tree,
+    prim_mst,
+    random_connected_graph,
+)
+from repro.net import Net
+from repro.steiner import (
+    ikmb,
+    kmb,
+    optimal_steiner_cost,
+    zel,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_graph_and_net(draw, max_nodes=24, max_pins=5):
+    """A connected random weighted graph plus a net within it."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=4, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    m = min(n - 1 + extra, n * (n - 1) // 2)
+    g = random_connected_graph(n, m, rng)
+    pins = draw(
+        st.integers(min_value=2, max_value=min(max_pins, n))
+    )
+    terminals = rng.sample(range(n), pins)
+    return g, Net(source=terminals[0], sinks=tuple(terminals[1:]))
+
+
+@st.composite
+def perturbed_grid_and_net(draw, size=6, max_pins=4):
+    """A weight-perturbed grid graph plus a net (tie-free instances)."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    g = grid_graph(size, size)
+    for u, v, _ in list(g.edges()):
+        g.set_weight(u, v, 1.0 + rng.random())
+    pins = draw(st.integers(min_value=2, max_value=max_pins))
+    terminals = rng.sample(list(g.nodes), pins)
+    return g, Net(source=terminals[0], sinks=tuple(terminals[1:]))
+
+
+class TestShortestPathProperties:
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_triangle_inequality(self, gn):
+        g, net = gn
+        cache = ShortestPathCache(g)
+        a, b = net.source, net.sinks[0]
+        for c in list(g.nodes)[:6]:
+            dab = cache.dist(a, b)
+            dac = cache.dist(a, c)
+            dcb = cache.dist(c, b)
+            assert dab <= dac + dcb + 1e-9
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_symmetry(self, gn):
+        g, net = gn
+        cache = ShortestPathCache(g)
+        assert cache.dist(net.source, net.sinks[0]) == pytest.approx(
+            cache.dist(net.sinks[0], net.source)
+        )
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_path_cost_equals_distance(self, gn):
+        g, net = gn
+        cache = ShortestPathCache(g)
+        path = cache.path(net.source, net.sinks[0])
+        cost = sum(g.weight(u, v) for u, v in zip(path, path[1:]))
+        assert cost == pytest.approx(cache.dist(net.source, net.sinks[0]))
+
+
+class TestMSTProperties:
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_mst_is_spanning_tree(self, gn):
+        g, _ = gn
+        edges, cost = prim_mst(g)
+        assert len(edges) == g.num_nodes - 1
+        t = Graph()
+        for u, v, w in edges:
+            t.add_edge(u, v, w)
+        for node in g.nodes:
+            t.add_node(node)
+        assert is_tree(t)
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_mst_lower_bounds_no_edge_removal(self, gn):
+        # removing any MST edge and reconnecting costs at least as much
+        g, _ = gn
+        edges, cost = prim_mst(g)
+        assert cost <= g.total_weight() + 1e-9
+
+
+class TestSteinerProperties:
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_heuristics_produce_valid_steiner_trees(self, gn):
+        g, net = gn
+        for algo in (kmb, zel, ikmb):
+            tree = algo(g, net)
+            assert is_tree(tree.tree)
+            for t in net.terminals:
+                assert tree.tree.has_node(t)
+
+    @SETTINGS
+    @given(weighted_graph_and_net(max_nodes=16, max_pins=4))
+    def test_heuristics_respect_bounds(self, gn):
+        g, net = gn
+        opt = optimal_steiner_cost(g, net.terminals)
+        assert kmb(g, net).cost <= 2.0 * opt + 1e-6
+        assert zel(g, net).cost <= (11.0 / 6.0) * opt + 1e-6
+        assert ikmb(g, net).cost <= 2.0 * opt + 1e-6
+        for algo in (kmb, zel, ikmb):
+            assert algo(g, net).cost >= opt - 1e-6
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_iteration_never_hurts(self, gn):
+        g, net = gn
+        cache = ShortestPathCache(g)
+        assert ikmb(g, net, cache=cache).cost <= (
+            kmb(g, net, cache).cost + 1e-9
+        )
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_two_pin_equals_shortest_path(self, gn):
+        g, net = gn
+        if len(net.sinks) != 1:
+            return
+        dist, _ = dijkstra(g, net.source)
+        for algo in (kmb, zel, ikmb):
+            assert algo(g, net).cost == pytest.approx(
+                dist[net.sinks[0]]
+            )
+
+
+class TestArborescenceProperties:
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_shortest_path_property(self, gn):
+        g, net = gn
+        dist, _ = dijkstra(g, net.source)
+        for algo in (djka, dom, pfa, idom):
+            tree = algo(g, net)
+            assert is_tree(tree.tree)
+            for sink in net.sinks:
+                assert tree.pathlength(sink) == pytest.approx(dist[sink])
+
+    @SETTINGS
+    @given(weighted_graph_and_net(max_nodes=16, max_pins=4))
+    def test_gsa_cost_ordering(self, gn):
+        g, net = gn
+        opt_gsa = optimal_arborescence_cost(g, net)
+        opt_gmst = optimal_steiner_cost(g, net.terminals)
+        # GMST optimum <= GSA optimum <= every GSA heuristic
+        assert opt_gmst <= opt_gsa + 1e-6
+        for algo in (djka, dom, pfa, idom):
+            assert algo(g, net).cost >= opt_gsa - 1e-6
+
+    @SETTINGS
+    @given(weighted_graph_and_net())
+    def test_idom_no_worse_than_dom(self, gn):
+        g, net = gn
+        cache = ShortestPathCache(g)
+        assert idom(g, net, cache=cache).cost <= (
+            dom(g, net, cache).cost + 1e-9
+        )
+
+
+class TestDominanceProperties:
+    @SETTINGS
+    @given(perturbed_grid_and_net())
+    def test_dominance_definition(self, gn):
+        g, net = gn
+        oracle = DominanceOracle(g, net.source)
+        cache = oracle.cache
+        nodes = list(g.nodes)[:8]
+        for p in nodes:
+            for s in nodes:
+                claimed = oracle.dominates(p, s)
+                d0p = cache.dist(net.source, p)
+                d0s = cache.dist(net.source, s)
+                dsp = cache.dist(s, p)
+                actual = abs(d0p - (d0s + dsp)) <= 1e-9 * max(1.0, d0p)
+                assert claimed == actual
+
+    @SETTINGS
+    @given(perturbed_grid_and_net())
+    def test_maxdom_is_dominated_by_both(self, gn):
+        g, net = gn
+        if len(net.sinks) < 2:
+            return
+        oracle = DominanceOracle(g, net.source)
+        p, q = net.sinks[0], net.sinks[1]
+        m, d = oracle.maxdom(p, q)
+        assert oracle.dominates(p, m)
+        assert oracle.dominates(q, m)
+        assert d == pytest.approx(oracle.source_dist(m))

@@ -1,0 +1,48 @@
+"""Tests for the quick-report generator and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(table1_trials=1)
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "Table 1",
+            "Figure 3",
+            "Figure 4",
+            "Figures 6/13",
+            "Figure 10",
+            "Figure 11",
+            "Figure 14",
+            "CPU times",
+        ):
+            assert heading in report
+
+    def test_is_markdown(self, report):
+        assert report.startswith("# repro")
+        assert "```" in report
+
+    def test_mentions_published_columns(self, report):
+        assert "(paper)" in report
+
+
+class TestCLIReport:
+    def test_to_stdout(self, capsys):
+        assert main(["report", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+
+    def test_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["report", "--trials", "1",
+                     "--output", str(path)]) == 0
+        assert path.stat().st_size > 2000
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,174 @@
+"""Tests for the routing-resource graph (Figure 2 model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.fpga import (
+    Architecture,
+    RoutingResourceGraph,
+    build_routing_graph,
+    junction,
+    pin_node,
+    xc4000,
+)
+from repro.graph import dijkstra
+
+
+@pytest.fixture
+def small_rrg():
+    return RoutingResourceGraph(
+        Architecture(rows=3, cols=4, channel_width=2, fs=3,
+                     pins_per_block=4)
+    )
+
+
+class TestConstruction:
+    def test_segment_counts(self, small_rrg):
+        arch = small_rrg.arch
+        # H spans: (rows+1) channels x cols spans x W tracks
+        h = (arch.rows + 1) * arch.cols * arch.channel_width
+        v = (arch.cols + 1) * arch.rows * arch.channel_width
+        segs = sum(
+            1 for u, v_, w in small_rrg.graph.edges()
+            if small_rrg.segment_info(u, v_) is not None
+        )
+        assert segs == h + v
+
+    def test_horizontal_segment_endpoints(self, small_rrg):
+        info = small_rrg.segment_info(
+            junction(0, 0, "E", 0), junction(1, 0, "W", 0)
+        )
+        assert info is not None
+        assert info.orientation == "H"
+        assert info.group == ("H", 0, 0)
+
+    def test_vertical_segment_endpoints(self, small_rrg):
+        info = small_rrg.segment_info(
+            junction(2, 1, "N", 1), junction(2, 2, "S", 1)
+        )
+        assert info is not None
+        assert info.orientation == "V"
+
+    def test_switch_edges_weight(self, small_rrg):
+        # a disjoint-pattern turn at an interior crossing
+        u = junction(1, 1, "W", 0)
+        v = junction(1, 1, "N", 0)
+        assert small_rrg.graph.has_edge(u, v)
+        assert small_rrg.graph.weight(u, v) == small_rrg.arch.switch_weight
+
+    def test_boundary_crossings_partial(self, small_rrg):
+        # crossing (0, 0) has no W or S side
+        assert not small_rrg.graph.has_node(junction(0, 0, "W", 0))
+        assert not small_rrg.graph.has_node(junction(0, 0, "S", 0))
+        assert small_rrg.graph.has_node(junction(0, 0, "E", 0))
+        assert small_rrg.graph.has_node(junction(0, 0, "N", 0))
+
+    def test_pins_attached_with_fc_taps(self, small_rrg):
+        pn = pin_node(0, 0, 0)
+        # Fc = W = 2 tracks x 2 segment ends
+        assert small_rrg.graph.degree(pn) == 4
+
+    def test_graph_connected(self, small_rrg):
+        assert small_rrg.graph.is_connected()
+
+    def test_build_convenience(self):
+        rrg = build_routing_graph(xc4000(2, 2, 2))
+        assert rrg.graph.num_nodes > 0
+
+
+class TestDistances:
+    def test_pin_to_pin_distance_scales_with_placement(self):
+        rrg = RoutingResourceGraph(
+            Architecture(rows=6, cols=6, channel_width=2, pins_per_block=4)
+        )
+        near = pin_node(0, 0, 0)
+        far = pin_node(5, 5, 0)
+        mid = pin_node(2, 0, 0)
+        dist, _ = dijkstra(rrg.graph, near)
+        assert dist[far] > dist[mid] > 0
+
+    def test_routing_reflects_wirelength(self, small_rrg):
+        # adjacent blocks one segment apart: distance about
+        # 2 pin taps + ~1 segment (+ possibly a switch)
+        a = pin_node(0, 0, 0)  # N side of (0,0)
+        b = pin_node(1, 0, 0)  # N side of (1,0)
+        dist, _ = dijkstra(small_rrg.graph, a, targets=[b])
+        arch = small_rrg.arch
+        assert dist[b] <= 2 * arch.pin_weight + 2 * arch.segment_weight + \
+            2 * arch.switch_weight
+
+
+class TestGroups:
+    def test_group_tracks(self, small_rrg):
+        keys = small_rrg.group_tracks(("H", 0, 0))
+        assert len(keys) == small_rrg.arch.channel_width
+
+    def test_group_utilization(self, small_rrg):
+        group = ("H", 1, 1)
+        assert small_rrg.group_utilization(group) == 0.0
+        u, v = small_rrg.group_tracks(group)[0]
+        small_rrg.graph.remove_edge(u, v)
+        assert small_rrg.group_utilization(group) == pytest.approx(0.5)
+
+    def test_base_weight_survives_reweighting(self, small_rrg):
+        group = ("V", 0, 0)
+        u, v = small_rrg.group_tracks(group)[0]
+        base = small_rrg.base_weight(u, v)
+        small_rrg.graph.set_weight(u, v, 99.0)
+        assert small_rrg.base_weight(u, v) == base
+
+
+class TestPinProtocol:
+    def test_detach_all_then_attach(self, small_rrg):
+        pn = pin_node(1, 1, 0)
+        small_rrg.detach_all_pins()
+        assert not small_rrg.graph.has_node(pn)
+        small_rrg.attach_pins([pn])
+        assert small_rrg.graph.degree(pn) == 4
+
+    def test_attach_skips_consumed_taps(self, small_rrg):
+        pn = pin_node(1, 1, 0)
+        taps = list(small_rrg.graph.neighbors(pn))
+        small_rrg.detach_all_pins()
+        small_rrg.graph.remove_node(taps[0])
+        small_rrg.attach_pins([pn])
+        assert small_rrg.graph.degree(pn) == 3
+
+    def test_attach_unknown_pin_raises(self, small_rrg):
+        with pytest.raises(GraphError):
+            small_rrg.attach_pins([("P", 99, 99, 0)])
+
+    def test_detach_pins_idempotent(self, small_rrg):
+        pn = pin_node(0, 0, 1)
+        small_rrg.detach_pins([pn])
+        small_rrg.detach_pins([pn])  # no error
+        assert not small_rrg.graph.has_node(pn)
+
+
+class TestCommitAndReset:
+    def test_commit_removes_tree_nodes(self, small_rrg):
+        from repro.graph import Graph
+
+        u = junction(1, 1, "E", 0)
+        v = junction(2, 1, "W", 0)
+        tree = Graph()
+        tree.add_edge(u, v, 1.0)
+        touched = small_rrg.commit(tree)
+        assert ("H", 1, 1) in touched
+        assert not small_rrg.graph.has_node(u)
+        assert not small_rrg.graph.has_node(v)
+
+    def test_reset_restores_everything(self, small_rrg):
+        nodes_before = small_rrg.graph.num_nodes
+        edges_before = small_rrg.graph.num_edges
+        from repro.graph import Graph
+
+        tree = Graph()
+        tree.add_edge(junction(1, 1, "E", 0), junction(2, 1, "W", 0), 1.0)
+        small_rrg.commit(tree)
+        small_rrg.detach_all_pins()
+        small_rrg.reset()
+        assert small_rrg.graph.num_nodes == nodes_before
+        assert small_rrg.graph.num_edges == edges_before

@@ -1,0 +1,159 @@
+"""Tests for the RoutingTree result type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, grid_graph
+from repro.net import Net
+from repro.steiner import RoutingTree, tree_from_edges
+
+
+@pytest.fixture
+def simple_tree():
+    #       a --1-- s --2-- b
+    #               |
+    #               3
+    #               |
+    #               c
+    g = Graph()
+    g.add_edge("a", "s", 1.0)
+    g.add_edge("s", "b", 2.0)
+    g.add_edge("s", "c", 3.0)
+    net = Net(source="a", sinks=("b", "c"))
+    return RoutingTree(net=net, tree=g, algorithm="X")
+
+
+class TestMetrics:
+    def test_cost(self, simple_tree):
+        assert simple_tree.cost == 6.0
+
+    def test_pathlengths(self, simple_tree):
+        assert simple_tree.pathlength("b") == 3.0
+        assert simple_tree.pathlength("c") == 4.0
+
+    def test_max_and_total_pathlength(self, simple_tree):
+        assert simple_tree.max_pathlength == 4.0
+        assert simple_tree.total_pathlength == 7.0
+
+    def test_path_to(self, simple_tree):
+        assert simple_tree.path_to("c") == ["a", "s", "c"]
+
+    def test_pathlength_unreachable_raises(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("c")
+        tree = RoutingTree(
+            net=Net(source="a", sinks=("b",)), tree=g
+        )
+        with pytest.raises(GraphError):
+            tree.pathlength("c")
+
+
+class TestValidation:
+    def test_validate_passes(self, simple_tree):
+        assert simple_tree.validate() is simple_tree
+
+    def test_validate_against_host(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((0, 2),))
+        tree = medium_grid.edge_subgraph(
+            [((0, 0), (0, 1)), ((0, 1), (0, 2))]
+        )
+        RoutingTree(net=net, tree=tree).validate(host=medium_grid)
+
+    def test_validate_rejects_cycles(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(3, 1, 1.0)
+        tree = RoutingTree(net=Net(source=1, sinks=(2,)), tree=g)
+        with pytest.raises(GraphError):
+            tree.validate()
+
+
+class TestArborescenceCheck:
+    def test_true_for_shortest_paths(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((0, 3),))
+        tree = medium_grid.edge_subgraph(
+            [((0, i), (0, i + 1)) for i in range(3)]
+        )
+        rt = RoutingTree(net=net, tree=tree)
+        assert rt.is_arborescence(medium_grid)
+
+    def test_false_for_detour(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((0, 1),))
+        # route the long way around a 2x2 block
+        tree = medium_grid.edge_subgraph(
+            [((0, 0), (1, 0)), ((1, 0), (1, 1)), ((1, 1), (0, 1))]
+        )
+        rt = RoutingTree(net=net, tree=tree)
+        assert not rt.is_arborescence(medium_grid)
+
+
+class TestFromEdges:
+    def test_builds_and_validates(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((2, 0),))
+        rt = tree_from_edges(
+            medium_grid,
+            [((0, 0), (1, 0), 1.0), ((1, 0), (2, 0), 1.0)],
+            net,
+            algorithm="manual",
+        )
+        assert rt.cost == 2.0
+        assert rt.algorithm == "manual"
+
+    def test_rejects_disconnected(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((5, 5),))
+        with pytest.raises(GraphError):
+            tree_from_edges(
+                medium_grid, [((0, 0), (1, 0), 1.0)], net
+            )
+
+    def test_steiner_nodes_carried(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((2, 0),))
+        rt = tree_from_edges(
+            medium_grid,
+            [((0, 0), (1, 0), 1.0), ((1, 0), (2, 0), 1.0)],
+            net,
+            steiner_nodes=((1, 0),),
+        )
+        assert rt.steiner_nodes == ((1, 0),)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro.errors import (
+            ArchitectureError,
+            DisconnectedError,
+            GraphError,
+            NetError,
+            ReproError,
+            RoutingError,
+            UnroutableError,
+        )
+
+        for err in (
+            GraphError,
+            DisconnectedError,
+            NetError,
+            ArchitectureError,
+            RoutingError,
+            UnroutableError,
+        ):
+            assert issubclass(err, ReproError)
+
+    def test_unroutable_payload(self):
+        from repro.errors import UnroutableError
+
+        exc = UnroutableError(5, 20, ["a", "b"])
+        assert exc.channel_width == 5
+        assert exc.passes == 20
+        assert exc.failed_nets == ("a", "b")
+        assert "width 5" in str(exc)
+
+    def test_disconnected_payload(self):
+        from repro.errors import DisconnectedError
+
+        exc = DisconnectedError("x", "y")
+        assert exc.source == "x" and exc.target == "y"

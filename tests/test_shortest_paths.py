@@ -1,0 +1,175 @@
+"""Tests for Dijkstra and the ShortestPathCache."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DisconnectedError, GraphError
+from repro.graph import (
+    Graph,
+    ShortestPathCache,
+    dijkstra,
+    grid_graph,
+    path_cost,
+    random_connected_graph,
+    reconstruct_path,
+    shortest_path,
+)
+
+
+class TestDijkstra:
+    def test_distances_on_path_graph(self, path_graph):
+        dist, pred = dijkstra(path_graph, "a")
+        assert dist == {"a": 0, "b": 1, "c": 2, "d": 3, "e": 4}
+        assert pred["e"] == "d"
+
+    def test_grid_distances_are_rectilinear(self):
+        # Figure 3(a): before routing, shortest paths = Manhattan distance
+        g = grid_graph(8, 8)
+        dist, _ = dijkstra(g, (0, 0))
+        for (x, y), d in dist.items():
+            assert d == x + y
+
+    def test_weighted_detour(self):
+        g = Graph()
+        g.add_edge("s", "a", 10.0)
+        g.add_edge("s", "b", 1.0)
+        g.add_edge("b", "a", 2.0)
+        dist, _ = dijkstra(g, "s")
+        assert dist["a"] == 3.0
+
+    def test_missing_source_raises(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            dijkstra(g, 99)
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        dist, _ = dijkstra(g, 1)
+        assert 3 not in dist
+
+    def test_early_exit_with_targets(self):
+        g = grid_graph(30, 30)
+        dist, _ = dijkstra(g, (0, 0), targets=[(1, 1)])
+        assert dist[(1, 1)] == 2
+        # early exit must have skipped most of the grid
+        assert len(dist) < 900
+
+    def test_targets_all_settled(self):
+        g = grid_graph(10, 10)
+        targets = [(9, 9), (5, 5), (0, 9)]
+        dist, _ = dijkstra(g, (0, 0), targets=targets)
+        for t in targets:
+            assert t in dist
+
+    def test_cutoff_limits_exploration(self):
+        g = grid_graph(20, 20)
+        dist, _ = dijkstra(g, (0, 0), cutoff=3.0)
+        assert all(d <= 3.0 for d in dist.values())
+        assert (10, 10) not in dist
+
+    def test_zero_weight_edges(self):
+        g = Graph()
+        g.add_edge("s", "a", 0.0)
+        g.add_edge("a", "b", 0.0)
+        g.add_edge("b", "t", 1.0)
+        dist, _ = dijkstra(g, "s")
+        assert dist["t"] == 1.0
+
+    def test_matches_networkx_on_random_graphs(self):
+        nx = pytest.importorskip("networkx")
+        rng = random.Random(42)
+        for trial in range(5):
+            g = random_connected_graph(40, 150, rng)
+            ng = nx.Graph()
+            for u, v, w in g.edges():
+                ng.add_edge(u, v, weight=w)
+            dist, _ = dijkstra(g, 0)
+            nx_dist = nx.single_source_dijkstra_path_length(ng, 0)
+            for node, d in nx_dist.items():
+                assert dist[node] == pytest.approx(d)
+
+
+class TestPathReconstruction:
+    def test_reconstruct_trivial(self):
+        assert reconstruct_path({}, "a", "a") == ["a"]
+
+    def test_reconstruct_raises_when_unreached(self):
+        with pytest.raises(DisconnectedError):
+            reconstruct_path({}, "a", "b")
+
+    def test_shortest_path_cost_consistency(self, medium_grid):
+        path, cost = shortest_path(medium_grid, (0, 0), (7, 4))
+        assert cost == 11
+        assert path[0] == (0, 0) and path[-1] == (7, 4)
+        assert path_cost(medium_grid, path) == cost
+
+    def test_path_edges_exist(self, medium_grid):
+        path, _ = shortest_path(medium_grid, (2, 3), (8, 8))
+        for u, v in zip(path, path[1:]):
+            assert medium_grid.has_edge(u, v)
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(DisconnectedError):
+            shortest_path(g, 1, 3)
+
+
+class TestCache:
+    def test_dist_symmetry_via_either_endpoint(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        d1 = cache.dist((0, 0), (5, 5))
+        assert d1 == 10
+        # now (0,0) is cached; querying the reverse should reuse it
+        assert cache.dist((5, 5), (0, 0)) == 10
+        assert cache.cached_sources() == [(0, 0)]
+
+    def test_path_without_source_sssp(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        cache.sssp((0, 0))
+        # path from an uncached node to a cached one must not add an entry
+        p = cache.path((5, 5), (0, 0))
+        assert p[0] == (5, 5) and p[-1] == (0, 0)
+        assert len(cache) == 1
+
+    def test_invalidation_on_mutation(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        assert cache.dist((0, 0), (3, 0)) == 3
+        assert len(cache) == 1
+        # sever the direct corridor; distances must refresh
+        medium_grid.remove_edge((1, 0), (2, 0))
+        assert cache.dist((0, 0), (3, 0)) == 5
+        assert len(cache) == 1  # old entry dropped, new one stored
+
+    def test_weight_update_invalidates(self, medium_grid):
+        cache = ShortestPathCache(medium_grid)
+        assert cache.dist((0, 0), (1, 0)) == 1
+        medium_grid.set_weight((0, 0), (1, 0), 10.0)
+        assert cache.dist((0, 0), (1, 0)) == 3.0  # around the block
+
+    def test_warm(self, small_grid):
+        cache = ShortestPathCache(small_grid)
+        cache.warm([(0, 0), (5, 5)])
+        assert len(cache) == 2
+
+    def test_unreachable_is_inf(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        cache = ShortestPathCache(g)
+        assert cache.dist(1, 3) == float("inf")
+
+    def test_path_raises_for_unreachable(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        cache = ShortestPathCache(g)
+        with pytest.raises(DisconnectedError):
+            cache.path(1, 3)

@@ -1,0 +1,155 @@
+"""Tests for MST construction (Prim, Kruskal, dense Prim)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    UnionFind,
+    dense_mst,
+    kruskal_mst,
+    mst_cost,
+    prim_mst,
+    random_connected_graph,
+)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.union(1, 2)
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+        assert not uf.connected(1, 4)
+
+
+class TestPrim:
+    def test_empty(self):
+        edges, cost = prim_mst(Graph())
+        assert edges == [] and cost == 0.0
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("x")
+        edges, cost = prim_mst(g)
+        assert edges == [] and cost == 0.0
+
+    def test_triangle(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 2.0)
+        g.add_edge(1, 3, 3.0)
+        edges, cost = prim_mst(g)
+        assert len(edges) == 2
+        assert cost == 3.0
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(GraphError):
+            prim_mst(g)
+
+    def test_within_subset(self):
+        g = Graph()
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(1, 3, 5.0)
+        edges, cost = prim_mst(g, within=[1, 3])
+        assert cost == 5.0  # node 2 excluded, direct edge forced
+
+    def test_matches_kruskal(self):
+        rng = random.Random(7)
+        for trial in range(5):
+            g = random_connected_graph(30, 90, rng)
+            _, prim_cost = prim_mst(g)
+            _, kruskal_cost = kruskal_mst(list(g.edges()))
+            assert prim_cost == pytest.approx(kruskal_cost)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = random.Random(3)
+        g = random_connected_graph(25, 80, rng)
+        ng = nx.Graph()
+        for u, v, w in g.edges():
+            ng.add_edge(u, v, weight=w)
+        _, cost = prim_mst(g)
+        nx_cost = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(ng).edges(data=True)
+        )
+        assert cost == pytest.approx(nx_cost)
+
+
+class TestKruskal:
+    def test_basic(self):
+        edges, cost = kruskal_mst([(1, 2, 1.0), (2, 3, 2.0), (1, 3, 3.0)])
+        assert cost == 3.0
+
+    def test_declared_nodes_detect_disconnection(self):
+        with pytest.raises(GraphError):
+            kruskal_mst([(1, 2, 1.0)], nodes=[1, 2, 3])
+
+    def test_inferred_nodes(self):
+        edges, cost = kruskal_mst([(1, 2, 2.0)])
+        assert len(edges) == 1
+
+
+class TestDenseMST:
+    def test_empty(self):
+        assert dense_mst({}) == ([], 0.0)
+
+    def test_two_nodes(self):
+        dist = {"a": {"b": 4.0}, "b": {"a": 4.0}}
+        edges, cost = dense_mst(dist)
+        assert cost == 4.0
+
+    def test_matches_prim_on_closure(self):
+        # metric closure of a path a-b-c with unit edges
+        dist = {
+            "a": {"b": 1.0, "c": 2.0},
+            "b": {"a": 1.0, "c": 1.0},
+            "c": {"a": 2.0, "b": 1.0},
+        }
+        _, cost = dense_mst(dist)
+        assert cost == 2.0
+
+    def test_disconnected_matrix_raises(self):
+        dist = {"a": {"b": 1.0}, "b": {"a": 1.0}, "c": {}}
+        with pytest.raises(GraphError):
+            dense_mst(dist, nodes=["a", "b", "c"])
+
+    def test_mst_cost_helper(self):
+        dist = {
+            "a": {"b": 1.0, "c": 5.0},
+            "b": {"a": 1.0, "c": 1.0},
+            "c": {"a": 5.0, "b": 1.0},
+        }
+        assert mst_cost(dist) == 2.0
+
+    def test_random_agreement_with_kruskal(self):
+        rng = random.Random(11)
+        for trial in range(10):
+            nodes = list(range(8))
+            dist = {u: {} for u in nodes}
+            edges = []
+            for i in nodes:
+                for j in nodes:
+                    if i < j:
+                        w = rng.uniform(1, 10)
+                        dist[i][j] = w
+                        dist[j][i] = w
+                        edges.append((i, j, w))
+            _, dcost = dense_mst(dist, nodes)
+            _, kcost = kruskal_mst(edges, nodes)
+            assert dcost == pytest.approx(kcost)

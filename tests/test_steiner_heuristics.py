@@ -1,0 +1,237 @@
+"""Tests for KMB, ZEL, IGMST (IKMB/IZEL) and the exact solver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, ShortestPathCache, grid_graph, is_tree
+from repro.net import Net
+from repro.steiner import (
+    dreyfus_wagner,
+    igmst,
+    ikmb,
+    izel,
+    kmb,
+    kmb_cost,
+    kmb_tree_graph,
+    optimal_steiner_cost,
+    optimal_steiner_tree,
+    zel,
+    zel_steiner_points,
+)
+from tests.conftest import random_instance
+
+
+class TestKMB:
+    def test_two_terminals_is_shortest_path(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((5, 5),))
+        tree = kmb(medium_grid, net)
+        assert tree.cost == 10
+
+    def test_spans_and_is_tree(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((9, 9), (0, 9), (9, 0)))
+        result = kmb(medium_grid, net)
+        assert is_tree(result.tree)
+        for t in net.terminals:
+            assert result.tree.has_node(t)
+
+    def test_uses_steiner_point_on_hub_graph(self, triangle_graph):
+        net = Net(source="A", sinks=("B", "C"))
+        tree = kmb(triangle_graph, net)
+        # hub solution costs 6; best hub-free solution costs 10
+        assert tree.cost == 6.0
+        assert tree.tree.has_node("S")
+
+    def test_within_2x_of_optimal_random(self):
+        for seed in range(12):
+            g, net = random_instance(seed, num_pins=4)
+            heur = kmb(g, net).cost
+            opt = optimal_steiner_cost(g, net.terminals)
+            assert opt <= heur + 1e-9
+            assert heur <= 2.0 * opt + 1e-9
+
+    def test_cost_matches_tree(self, medium_grid):
+        terms = [(0, 0), (9, 9), (4, 2)]
+        cost = kmb_cost(medium_grid, terms)
+        tree = kmb_tree_graph(medium_grid, terms)
+        assert cost == pytest.approx(tree.total_weight())
+
+    def test_single_terminal(self, medium_grid):
+        g = kmb_tree_graph(medium_grid, [(3, 3)])
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_duplicate_terminals_deduped(self, medium_grid):
+        g = kmb_tree_graph(medium_grid, [(0, 0), (3, 3), (0, 0)])
+        assert g.total_weight() == 6
+
+    def test_pendant_pruning(self):
+        # a terminal layout where the expanded subgraph briefly contains
+        # a non-terminal leaf: verify no non-terminal leaves remain
+        g = grid_graph(5, 5)
+        net = Net(source=(0, 0), sinks=((4, 0), (2, 4)))
+        tree = kmb(g, net).tree
+        for node in tree.nodes:
+            if tree.degree(node) == 1:
+                assert node in {(0, 0), (4, 0), (2, 4)}
+
+
+class TestZEL:
+    def test_small_nets_fall_back_to_kmb(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((5, 5),))
+        assert zel(medium_grid, net).cost == 10
+
+    def test_spans_and_is_tree(self, medium_grid):
+        net = Net(source=(1, 1), sinks=((8, 2), (3, 9), (9, 9)))
+        result = zel(medium_grid, net)
+        assert is_tree(result.tree)
+        for t in net.terminals:
+            assert result.tree.has_node(t)
+
+    def test_no_worse_than_11_6_optimal(self):
+        for seed in range(12):
+            g, net = random_instance(seed + 100, num_pins=5)
+            heur = zel(g, net).cost
+            opt = optimal_steiner_cost(g, net.terminals)
+            assert heur <= (11.0 / 6.0) * opt + 1e-9
+
+    def test_zel_beats_or_ties_kmb_usually(self):
+        # ZEL's contraction only fires on positive win, so it should not
+        # lose to KMB by more than numerical noise on average
+        total_kmb = total_zel = 0.0
+        for seed in range(10):
+            g, net = random_instance(seed + 200, num_pins=6)
+            total_kmb += kmb(g, net).cost
+            total_zel += zel(g, net).cost
+        assert total_zel <= total_kmb + 1e-9
+
+    def test_steiner_points_come_from_graph(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((9, 0), (0, 9), (9, 9), (5, 5)))
+        pts = zel_steiner_points(medium_grid, net.terminals)
+        for p in pts:
+            assert medium_grid.has_node(p)
+
+    def test_hub_graph(self, triangle_graph):
+        net = Net(source="A", sinks=("B", "C"))
+        tree = zel(triangle_graph, net)
+        assert tree.cost == 6.0
+
+
+class TestIGMST:
+    def test_ikmb_never_worse_than_kmb(self):
+        for seed in range(10):
+            g, net = random_instance(seed + 300, num_pins=5)
+            assert ikmb(g, net).cost <= kmb(g, net).cost + 1e-9
+
+    def test_izel_never_worse_than_zel(self):
+        for seed in range(6):
+            g, net = random_instance(seed + 400, num_pins=5)
+            assert izel(g, net).cost <= zel(g, net).cost + 1e-9
+
+    def test_ikmb_finds_hub(self, triangle_graph):
+        net = Net(source="A", sinks=("B", "C"))
+        result = ikmb(triangle_graph, net)
+        assert result.cost == 6.0
+        assert result.algorithm == "IKMB"
+
+    def test_steiner_nodes_recorded(self):
+        # cross instance: 4 corners of a plus-shape; center is the only
+        # profitable Steiner point
+        g = Graph()
+        for arm in ("N", "S", "E", "W"):
+            g.add_edge("center", arm, 1.0)
+        g.add_edge("N", "E", 2.0)
+        g.add_edge("E", "S", 2.0)
+        g.add_edge("S", "W", 2.0)
+        g.add_edge("W", "N", 2.0)
+        net = Net(source="N", sinks=("S", "E", "W"))
+        result = ikmb(g, net)
+        assert result.cost == 4.0
+        assert "center" in result.steiner_nodes
+
+    def test_trace_records_monotone_costs(self):
+        g, net = random_instance(5, num_pins=6)
+        result = ikmb(g, net, record_trace=True)
+        trace = result.trace
+        costs = [trace.initial_cost] + [c for _, _, c in trace.steps]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+        assert trace.final_cost == pytest.approx(result.cost)
+
+    def test_batched_mode_matches_quality(self):
+        for seed in range(6):
+            g, net = random_instance(seed + 500, num_pins=5)
+            one = ikmb(g, net).cost
+            batch = ikmb(g, net, batched=True).cost
+            # batched is a speed/quality tradeoff; must stay within KMB
+            assert batch <= kmb(g, net).cost + 1e-9
+            assert batch == pytest.approx(one, rel=0.1)
+
+    def test_batched_rounds_are_few(self):
+        # the paper observes <= 3 non-interference rounds typically
+        for seed in range(5):
+            g, net = random_instance(seed + 600, num_pins=6)
+            result = ikmb(g, net, batched=True, record_trace=True)
+            assert result.trace.rounds <= 4
+
+    def test_explicit_candidate_list(self, triangle_graph):
+        net = Net(source="A", sinks=("B", "C"))
+        with_hub = igmst(triangle_graph, net, candidates=["S"])
+        without = igmst(triangle_graph, net, candidates=[])
+        assert with_hub.cost == 6.0
+        assert without.cost >= with_hub.cost
+
+    def test_neighborhood_strategy_valid(self):
+        g, net = random_instance(9, num_pins=4)
+        result = ikmb(g, net, candidates="neighborhood")
+        assert is_tree(result.tree)
+        assert result.cost <= kmb(g, net).cost + 1e-9
+
+    def test_unknown_strategy_raises(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((5, 5),))
+        with pytest.raises(GraphError):
+            igmst(medium_grid, net, candidates="bogus")
+
+    def test_max_steiner_nodes_cap(self):
+        g, net = random_instance(2, num_pins=6)
+        result = ikmb(g, net, max_steiner_nodes=1)
+        assert len(result.steiner_nodes) <= 1
+
+
+class TestExact:
+    def test_matches_brute_force_on_tiny_graphs(self):
+        # 3x3 grid, 3 terminals: optimal cost is easy to verify by hand
+        g = grid_graph(3, 3)
+        terms = [(0, 0), (2, 0), (1, 2)]
+        cost = optimal_steiner_cost(g, terms)
+        assert cost == 4  # meet at (1,0): 1 + 1 + 2
+
+    def test_tree_cost_matches_reported(self):
+        for seed in range(8):
+            g, net = random_instance(seed + 700, num_pins=4)
+            tree, cost = dreyfus_wagner(g, net.terminals)
+            assert tree.total_weight() == pytest.approx(cost)
+            assert is_tree(tree)
+
+    def test_exact_lower_bounds_heuristics(self):
+        for seed in range(8):
+            g, net = random_instance(seed + 800, num_pins=5)
+            opt = optimal_steiner_cost(g, net.terminals)
+            assert kmb(g, net).cost >= opt - 1e-9
+            assert zel(g, net).cost >= opt - 1e-9
+            assert ikmb(g, net).cost >= opt - 1e-9
+
+    def test_terminal_limit(self, medium_grid):
+        terms = [(i, j) for i in range(4) for j in range(4)]
+        with pytest.raises(GraphError):
+            dreyfus_wagner(medium_grid, terms, max_terminals=10)
+
+    def test_routing_tree_wrapper(self, medium_grid):
+        net = Net(source=(0, 0), sinks=((3, 3), (0, 5)))
+        result = optimal_steiner_tree(medium_grid, net)
+        assert result.algorithm == "OPT"
+        assert is_tree(result.tree)
+
+    def test_two_terminals(self, medium_grid):
+        assert optimal_steiner_cost(medium_grid, [(0, 0), (4, 7)]) == 11

@@ -1,0 +1,173 @@
+"""Tests for the 3-D FPGA extension (§6 future work, refs [1, 2])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArchitectureError, NetError
+from repro.fpga import (
+    Architecture,
+    Architecture3D,
+    PlacedNet3D,
+    RoutingResourceGraph3D,
+    pin_node_3d,
+    route_nets_3d,
+)
+from repro.graph import dijkstra
+from repro.net import Net
+from repro.steiner import kmb
+from repro.arborescence import pfa
+
+
+def base_arch(**kwargs):
+    defaults = dict(rows=3, cols=3, channel_width=3, pins_per_block=4)
+    defaults.update(kwargs)
+    return Architecture(**defaults)
+
+
+class TestArchitecture3D:
+    def test_defaults(self):
+        a = Architecture3D(base=base_arch())
+        assert a.layers == 2
+        assert a.num_blocks == 18
+
+    def test_invalid_layers(self):
+        with pytest.raises(ArchitectureError):
+            Architecture3D(base=base_arch(), layers=0)
+
+    def test_invalid_vias(self):
+        with pytest.raises(ArchitectureError):
+            Architecture3D(base=base_arch(), vias_per_crossing=99)
+
+    def test_negative_via_weight(self):
+        with pytest.raises(ArchitectureError):
+            Architecture3D(base=base_arch(), via_weight=-1.0)
+
+
+class TestRoutingGraph3D:
+    def test_layer_copies(self):
+        arch = Architecture3D(base=base_arch(), layers=3,
+                              vias_per_crossing=0)
+        rrg = RoutingResourceGraph3D(arch)
+        from repro.fpga import RoutingResourceGraph
+
+        single = RoutingResourceGraph(arch.base)
+        assert rrg.graph.num_nodes == 3 * single.graph.num_nodes
+        assert rrg.graph.num_edges == 3 * single.graph.num_edges
+
+    def test_vias_join_layers(self):
+        arch = Architecture3D(base=base_arch(), layers=2,
+                              vias_per_crossing=1)
+        rrg = RoutingResourceGraph3D(arch)
+        # without vias the two layers would be disconnected
+        a = pin_node_3d(0, 0, 0, 0)
+        b = pin_node_3d(1, 0, 0, 0)
+        dist, _ = dijkstra(rrg.graph, a, targets=[b])
+        assert b in dist
+
+    def test_no_vias_disconnects_layers(self):
+        arch = Architecture3D(base=base_arch(), layers=2,
+                              vias_per_crossing=0)
+        rrg = RoutingResourceGraph3D(arch)
+        a = pin_node_3d(0, 0, 0, 0)
+        b = pin_node_3d(1, 0, 0, 0)
+        dist, _ = dijkstra(rrg.graph, a, targets=[b])
+        assert b not in dist
+
+    def test_pin_protocol(self):
+        arch = Architecture3D(base=base_arch())
+        rrg = RoutingResourceGraph3D(arch)
+        pn = pin_node_3d(1, 1, 1, 0)
+        rrg.detach_all_pins()
+        assert not rrg.graph.has_node(pn)
+        rrg.attach_pins([pn])
+        assert rrg.graph.degree(pn) > 0
+        rrg.detach_pins([pn])
+        assert not rrg.graph.has_node(pn)
+
+    def test_attach_unknown_pin_raises(self):
+        arch = Architecture3D(base=base_arch())
+        rrg = RoutingResourceGraph3D(arch)
+        with pytest.raises(ArchitectureError):
+            rrg.attach_pins([("bogus",)])
+
+    def test_reset(self):
+        arch = Architecture3D(base=base_arch())
+        rrg = RoutingResourceGraph3D(arch)
+        nodes = rrg.graph.num_nodes - len(rrg._pin_edges)
+        rrg.detach_all_pins()
+        from repro.graph import Graph
+
+        t = Graph()
+        u = next(iter(rrg.graph.nodes))
+        v = next(iter(rrg.graph.neighbors(u)))
+        t.add_edge(u, v, 1.0)
+        rrg.commit(t)
+        rrg.reset()
+        assert rrg.graph.num_nodes >= nodes
+
+
+class TestPlacedNet3D:
+    def test_validation(self):
+        with pytest.raises(NetError):
+            PlacedNet3D("n", (0, 0, 0, 0), ())
+        with pytest.raises(NetError):
+            PlacedNet3D("n", (0, 0, 0, 0), ((0, 0, 0, 0),))
+
+    def test_to_graph_net(self):
+        net = PlacedNet3D("n", (0, 1, 2, 3), ((1, 0, 0, 0),))
+        gnet = net.to_graph_net()
+        assert gnet.source == ("L", 0, "P", 1, 2, 3)
+
+
+class TestRouting3D:
+    def test_cross_layer_net_routes(self):
+        arch = Architecture3D(base=base_arch(), layers=2)
+        nets = [
+            PlacedNet3D("x", (0, 0, 0, 0), ((1, 2, 2, 0),)),
+        ]
+        wl = route_nets_3d(arch, nets)
+        assert wl["x"] > 0
+
+    def test_multiple_nets_disjoint(self):
+        arch = Architecture3D(base=base_arch(channel_width=4), layers=2)
+        nets = [
+            PlacedNet3D("a", (0, 0, 0, 0), ((0, 2, 2, 0),)),
+            PlacedNet3D("b", (1, 0, 0, 0), ((1, 2, 2, 0),)),
+            PlacedNet3D("c", (0, 0, 2, 1), ((1, 2, 0, 1),)),
+        ]
+        wl = route_nets_3d(arch, nets)
+        assert len(wl) == 3
+
+    def test_any_algorithm_plugs_in(self):
+        # the §6 claim: the constructions generalize unchanged to 3-D
+        arch = Architecture3D(base=base_arch(channel_width=4), layers=2)
+        nets = [
+            PlacedNet3D(
+                "m", (0, 0, 0, 0),
+                ((1, 2, 2, 0), (0, 2, 0, 1)),
+            ),
+        ]
+        wl_kmb = route_nets_3d(arch, nets, algorithm=kmb)
+        wl_pfa = route_nets_3d(arch, nets, algorithm=pfa)
+        assert wl_kmb["m"] > 0 and wl_pfa["m"] > 0
+
+    def test_extra_layer_shortens_congested_routes(self):
+        # with more layers there is strictly more routing capacity;
+        # the same net set can only get cheaper or equal
+        nets = [
+            PlacedNet3D("a", (0, 0, 0, 0), ((0, 2, 2, 0),)),
+            PlacedNet3D("b", (0, 0, 2, 1), ((0, 2, 0, 1),)),
+            PlacedNet3D("c", (0, 1, 0, 2), ((0, 1, 2, 2),)),
+        ]
+        thin = Architecture3D(
+            base=base_arch(channel_width=2), layers=1,
+            vias_per_crossing=0,
+        )
+        thick = Architecture3D(
+            base=base_arch(channel_width=2), layers=2,
+            vias_per_crossing=2,
+        )
+        wl_thin = sum(route_nets_3d(thin, nets).values())
+        wl_thick = sum(route_nets_3d(thick, nets).values())
+        assert wl_thick <= wl_thin + 1e-9

@@ -1,0 +1,123 @@
+"""Tests for tree validation and pruning helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    assert_valid_steiner_tree,
+    grid_graph,
+    is_tree,
+    prune_non_terminal_leaves,
+    spans,
+    tree_paths_from,
+)
+
+
+def make_path(*nodes):
+    g = Graph()
+    for u, v in zip(nodes, nodes[1:]):
+        g.add_edge(u, v, 1.0)
+    return g
+
+
+class TestIsTree:
+    def test_empty_is_tree(self):
+        assert is_tree(Graph())
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_tree(g)
+
+    def test_path_is_tree(self):
+        assert is_tree(make_path(1, 2, 3, 4))
+
+    def test_cycle_is_not(self):
+        g = make_path(1, 2, 3)
+        g.add_edge(3, 1, 1.0)
+        assert not is_tree(g)
+
+    def test_forest_is_not(self):
+        g = make_path(1, 2)
+        g.add_edge(3, 4, 1.0)
+        assert not is_tree(g)
+
+
+class TestSpans:
+    def test_spans(self):
+        g = make_path(1, 2, 3)
+        assert spans(g, [1, 3])
+        assert not spans(g, [1, 9])
+
+
+class TestAssertValid:
+    def test_accepts_valid(self):
+        g = make_path("a", "b", "c")
+        assert_valid_steiner_tree(g, ["a", "c"])
+
+    def test_rejects_missing_terminal(self):
+        g = make_path("a", "b")
+        with pytest.raises(GraphError, match="misses"):
+            assert_valid_steiner_tree(g, ["a", "z"])
+
+    def test_rejects_cycle(self):
+        g = make_path(1, 2, 3)
+        g.add_edge(3, 1, 1.0)
+        with pytest.raises(GraphError, match="not a tree"):
+            assert_valid_steiner_tree(g, [1, 2])
+
+    def test_rejects_edge_not_in_host(self):
+        tree = make_path(1, 2)
+        host = Graph()
+        host.add_node(1)
+        host.add_node(2)
+        with pytest.raises(GraphError, match="not in host"):
+            assert_valid_steiner_tree(tree, [1, 2], host=host)
+
+    def test_rejects_weight_mismatch(self):
+        tree = make_path(1, 2)
+        host = Graph()
+        host.add_edge(1, 2, 5.0)
+        with pytest.raises(GraphError, match="weight"):
+            assert_valid_steiner_tree(tree, [1, 2], host=host)
+
+
+class TestPruning:
+    def test_prunes_dangling_chain(self):
+        g = make_path("t1", "a", "b", "t2")
+        g.add_edge("b", "x", 1.0)
+        g.add_edge("x", "y", 1.0)
+        prune_non_terminal_leaves(g, ["t1", "t2"])
+        assert not g.has_node("x")
+        assert not g.has_node("y")
+        assert g.has_node("a")  # interior, kept
+
+    def test_keeps_terminal_leaves(self):
+        g = make_path("t1", "a", "t2")
+        prune_non_terminal_leaves(g, ["t1", "t2"])
+        assert g.num_nodes == 3
+
+    def test_cascading_prune(self):
+        g = make_path("t", "a", "b", "c", "d")
+        prune_non_terminal_leaves(g, ["t"])
+        assert g.num_nodes == 1
+
+    def test_returns_same_object(self):
+        g = make_path(1, 2)
+        assert prune_non_terminal_leaves(g, [1, 2]) is g
+
+
+class TestTreePaths:
+    def test_distances(self):
+        g = make_path("r", "a", "b")
+        g.add_edge("a", "c", 2.0)
+        dist, pred = tree_paths_from(g, "r")
+        assert dist == {"r": 0.0, "a": 1.0, "b": 2.0, "c": 3.0}
+        assert pred["c"] == "a"
+
+    def test_missing_root_raises(self):
+        with pytest.raises(GraphError):
+            tree_paths_from(Graph(), "x")
