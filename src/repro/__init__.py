@@ -68,8 +68,136 @@ from .steiner import (
 
 __version__ = "1.0.0"
 
+
+def route(
+    circuit_or_netlist,
+    *,
+    arch=None,
+    config=None,
+    engine="serial",
+    trace=None,
+    max_workers=None,
+    fraction=1.0,
+    seed=1,
+    w_max=40,
+):
+    """Route a circuit — the library's one-call front door.
+
+    Parameters
+    ----------
+    circuit_or_netlist:
+        A :class:`~repro.fpga.netlist.PlacedCircuit`, or the name of a
+        built-in benchmark circuit (e.g. ``"busc"``, ``"term1"``) to
+        synthesize from its published statistics.
+    arch:
+        Target :class:`~repro.fpga.architecture.Architecture`.  When
+        omitted, the minimum routable channel width is searched for the
+        circuit's family (the paper's headline experiment) and the
+        result carries the width found.
+    config:
+        :class:`~repro.router.RouterConfig`; defaults apply otherwise.
+    engine:
+        ``"serial"`` (default, reference semantics), ``"thread"`` or
+        ``"process"`` — see :mod:`repro.engine`.
+    trace:
+        Path or open text file; when given, the engine's JSON trace of
+        the (successful) routing is written there.
+    max_workers:
+        Worker-pool size for the parallel engines.
+    fraction, seed:
+        Only used when ``circuit_or_netlist`` is a benchmark name:
+        circuit scale (1.0 = published size) and synthesis seed.
+    w_max:
+        Upper bound for the minimum-width search when ``arch`` is None.
+
+    Returns
+    -------
+    :class:`~repro.router.result.RoutingResult`
+        The complete routing; raises :class:`UnroutableError` if the
+        given ``arch`` cannot route the circuit, :class:`RoutingError`
+        if no width up to ``w_max`` can.
+
+    >>> import repro
+    >>> result = repro.route("term1", fraction=0.2, engine="thread",
+    ...                      config=repro.RouterConfig(algorithm="kmb"))
+    ... # doctest: +SKIP
+    """
+    # local imports: the facade pulls in the FPGA/router/engine stack,
+    # which would otherwise load (and cycle) at bare `import repro`
+    from .engine import RoutingSession
+    from .fpga import circuit_spec, scaled_spec, synthesize_circuit
+    from .fpga import xc3000, xc4000
+    from .fpga.netlist import PlacedCircuit
+    from .router import minimum_channel_width
+
+    family = None
+    if isinstance(circuit_or_netlist, str):
+        spec = scaled_spec(circuit_spec(circuit_or_netlist), fraction)
+        family = xc3000 if spec.family == "xc3000" else xc4000
+        circuit = synthesize_circuit(spec, seed=seed)
+    elif isinstance(circuit_or_netlist, PlacedCircuit):
+        circuit = circuit_or_netlist
+    else:
+        raise NetError(
+            "route() takes a PlacedCircuit or a benchmark name, "
+            f"not {type(circuit_or_netlist).__name__}"
+        )
+
+    if arch is not None:
+        session = RoutingSession(
+            arch, config, engine=engine, max_workers=max_workers
+        )
+        result = session.route(circuit)
+        if trace is not None:
+            session.write_trace(trace)
+        return result
+
+    # no architecture given: find the minimum routable channel width
+    _, result = minimum_channel_width(
+        circuit,
+        family or xc3000,
+        config,
+        w_max=w_max,
+        engine=engine,
+        max_workers=max_workers,
+        trace=trace,
+    )
+    return result
+
+
+#: names resolved lazily so `import repro` stays light — the FPGA /
+#: router / engine stack loads on first attribute access
+_LAZY_ATTRS = {
+    "RouterConfig": ("repro.router", "RouterConfig"),
+    "RoutingResult": ("repro.router.result", "RoutingResult"),
+    "RoutingSession": ("repro.engine", "RoutingSession"),
+    "minimum_channel_width": ("repro.router", "minimum_channel_width"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_ATTRS))
+
+
 __all__ = [
     "__version__",
+    "route",
+    "RouterConfig",
+    "RoutingResult",
+    "RoutingSession",
+    "minimum_channel_width",
     # errors
     "ReproError",
     "GraphError",

@@ -32,11 +32,67 @@ def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 
 
+def render_trace(doc: dict) -> str:
+    """Render a routing-engine trace document as a markdown section body.
+
+    ``doc`` is a loaded ``repro.engine/trace-v1`` document (see
+    :func:`repro.engine.load_trace`): header line, one row per pass,
+    and the aggregate totals.
+    """
+    header = (
+        f"{doc['circuit']} — engine={doc['engine']} "
+        f"W={doc['channel_width']} outcome={doc['outcome']}"
+        + (
+            f" wirelength={doc['total_wirelength']}"
+            if doc.get("total_wirelength") is not None
+            else ""
+        )
+    )
+    rows = []
+    for p in doc["passes"]:
+        rows.append([
+            p["pass"],
+            round(p["seconds"], 3),
+            p["nets_routed"],
+            p["nets_failed"],
+            p["batches"],
+            p["max_batch_size"],
+            p["speculative_commits"],
+            p["conflict_reroutes"],
+            p["dijkstra"]["calls"],
+            f"{p['cache']['hits']}/{p['cache']['misses']}",
+            p["congestion"]["max"],
+        ])
+    table = render_table(
+        ["pass", "s", "routed", "failed", "batches", "max batch",
+         "spec", "conflict", "dijkstra", "cache h/m", "peak util"],
+        rows,
+    )
+    totals = doc["totals"]
+    footer = (
+        f"totals: {totals['seconds']}s, "
+        f"dijkstra calls={totals['dijkstra']['calls']} "
+        f"pops={totals['dijkstra']['heap_pops']} "
+        f"relax={totals['dijkstra']['relaxations']}, "
+        f"cache hits={totals['cache']['hits']} "
+        f"misses={totals['cache']['misses']} "
+        f"invalidations={totals['cache']['invalidations']}, "
+        f"speculative={totals['speculative_commits']} "
+        f"conflicts={totals['conflict_reroutes']}"
+    )
+    return header + "\n\n" + table + "\n\n" + footer
+
+
 def generate_report(
     table1_trials: int = 3,
     seed: int = 1995,
+    trace=None,
 ) -> str:
-    """Build the markdown report; deterministic given the seed."""
+    """Build the markdown report; deterministic given the seed.
+
+    ``trace`` (path or open file) appends a routing-engine trace
+    section rendered from a ``route --trace`` / ``width --trace`` dump.
+    """
     started = time.time()
     parts: List[str] = [
         "# repro — quick reproduction report",
@@ -69,10 +125,11 @@ def generate_report(
     for label, traced in (
         ("IKMB", traced_ikmb), ("IDOM", traced_idom)
     ):
-        trace = traced.trace
-        trace_rows.append([label, round(trace.initial_cost, 2),
-                           round(trace.final_cost, 2),
-                           len(trace.steps)])
+        construction_trace = traced.trace
+        trace_rows.append([label,
+                           round(construction_trace.initial_cost, 2),
+                           round(construction_trace.final_cost, 2),
+                           len(construction_trace.steps)])
     parts.append(_section(
         "Figures 6/13 — iterated-construction traces",
         render_table(
@@ -119,6 +176,13 @@ def generate_report(
             [[k, round(v, 2)] for k, v in cpu.items()],
         ),
     ))
+
+    if trace is not None:
+        from ..engine import load_trace
+
+        parts.append(_section(
+            "Routing-engine trace", render_trace(load_trace(trace))
+        ))
 
     parts.append(
         f"_Generated in {time.time() - started:.1f}s "

@@ -11,17 +11,27 @@ can be driven without writing Python:
 * ``net``    — route a single random net on a congested grid with every
   tree algorithm (the quickstart, parameterized);
 * ``circuits`` — list the built-in benchmark circuit specs.
+* ``report`` — run the fast drivers and emit a markdown report.
+
+``route``, ``width`` and ``report`` share one engine option group —
+``--engine/--seed/--passes/--trace`` — so the routing engine and its
+JSON trace are driven the same way everywhere (``route``/``width``
+*write* the trace; ``report`` *renders* one).  Pre-redesign flag
+spellings (e.g. ``--max-passes``) are still accepted but hidden from
+``--help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional
 
 from .analysis import run_table1
 from .analysis.tables import render_table
+from .engine import ENGINES
 from .errors import ReproError
 from .fpga import (
     XC3000_CIRCUITS,
@@ -39,6 +49,54 @@ def _family(spec):
     return xc3000 if spec.family == "xc3000" else xc4000
 
 
+def _add_engine_options(parser, *, seed_default: int, trace_help: str) -> None:
+    """The shared ``--engine/--seed/--passes/--trace`` option group.
+
+    Hidden aliases keep the pre-redesign spellings working:
+    ``--max-passes`` (for ``--passes``) and ``--trace-file`` (for
+    ``--trace``).
+    """
+    group = parser.add_argument_group("engine options")
+    group.add_argument(
+        "--engine", choices=ENGINES, default="serial",
+        help="routing engine (serial is the bit-exact reference)",
+    )
+    group.add_argument(
+        "--seed", type=int, default=seed_default,
+        help="deterministic RNG seed",
+    )
+    group.add_argument(
+        "--passes", type=int, default=None, metavar="N",
+        help="move-to-front pass budget (RouterConfig.max_passes)",
+    )
+    group.add_argument(
+        "--max-passes", dest="passes", type=int, help=argparse.SUPPRESS
+    )
+    group.add_argument("--trace", metavar="PATH", help=trace_help)
+    group.add_argument(
+        "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS
+    )
+
+
+def _check_trace_destination(path) -> None:
+    """Reject an unwritable ``--trace`` PATH before routing, not after."""
+    if not path:
+        return
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise ReproError(
+            f"--trace {path}: directory {directory!r} does not exist"
+        )
+
+
+def _config(args, algorithm: str) -> RouterConfig:
+    """RouterConfig from the shared option group + an algorithm."""
+    extra = {}
+    if getattr(args, "passes", None) is not None:
+        extra["max_passes"] = args.passes
+    return RouterConfig(algorithm=algorithm, **extra)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,11 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_route = sub.add_parser(
         "route", help="route a benchmark circuit at minimum channel width"
     )
-    p_route.add_argument("circuit", help="benchmark name, e.g. busc, term1")
+    p_route.add_argument(
+        "circuit", nargs="?", default="term1",
+        help="benchmark name, e.g. busc, term1 (default: term1)",
+    )
     p_route.add_argument("--algorithm", default="ikmb", choices=ALGORITHMS)
     p_route.add_argument("--fraction", type=float, default=0.25,
                          help="circuit scale (1.0 = published size)")
-    p_route.add_argument("--seed", type=int, default=1)
     p_route.add_argument("--map", action="store_true",
                          help="print the channel-occupancy map")
     p_route.add_argument("--svg", metavar="PATH",
@@ -65,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the synthesized circuit as JSON")
     p_route.add_argument("--save-result", metavar="PATH",
                          help="write the routing result as JSON")
+    _add_engine_options(
+        p_route, seed_default=1,
+        trace_help="write the engine's JSON trace to PATH",
+    )
 
     p_width = sub.add_parser(
         "width", help="compare algorithms' minimum channel widths"
@@ -75,7 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=ALGORITHMS,
     )
     p_width.add_argument("--fraction", type=float, default=0.25)
-    p_width.add_argument("--seed", type=int, default=1)
+    _add_engine_options(
+        p_width, seed_default=1,
+        trace_help=(
+            "write the engine's JSON trace to PATH (with several "
+            "algorithms, one file per algorithm: PATH.<algo>.json)"
+        ),
+    )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
     p_t1.add_argument("--trials", type=int, default=5)
@@ -102,21 +172,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="Table 1 trials per cell")
     p_rep.add_argument("--output", metavar="PATH",
                        help="write the report to PATH instead of stdout")
+    _add_engine_options(
+        p_rep, seed_default=1995,
+        trace_help=(
+            "render an engine trace (written by route/width --trace) "
+            "as a report section"
+        ),
+    )
     return parser
 
 
 def _cmd_route(args) -> int:
+    _check_trace_destination(args.trace)
     spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
     circuit = synthesize_circuit(spec, seed=args.seed)
     print(f"circuit: {circuit.stats()}")
     width, result = minimum_channel_width(
-        circuit, _family(spec), RouterConfig(algorithm=args.algorithm)
+        circuit,
+        _family(spec),
+        _config(args, args.algorithm),
+        engine=args.engine,
+        trace=args.trace,
     )
     print(
         f"complete routing at W={width} "
-        f"(passes={result.passes_used}, "
+        f"(engine={args.engine}, passes={result.passes_used}, "
         f"wirelength={result.total_wirelength:.1f})"
     )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     family = _family(spec)
     arch = family(circuit.rows, circuit.cols, width)
     if args.map:
@@ -143,12 +227,20 @@ def _cmd_route(args) -> int:
 
 
 def _cmd_width(args) -> int:
+    _check_trace_destination(args.trace)
     spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
     circuit = synthesize_circuit(spec, seed=args.seed)
     rows = []
     for algo in args.algorithms:
+        trace = args.trace
+        if trace and len(args.algorithms) > 1:
+            trace = f"{trace}.{algo}.json"
         width, result = minimum_channel_width(
-            circuit, _family(spec), RouterConfig(algorithm=algo)
+            circuit,
+            _family(spec),
+            _config(args, algo),
+            engine=args.engine,
+            trace=trace,
         )
         rows.append(
             [algo, width, result.passes_used,
@@ -227,7 +319,19 @@ def _cmd_circuits(args) -> int:
 def _cmd_report(args) -> int:
     from .analysis.report import generate_report
 
-    text = generate_report(table1_trials=args.trials)
+    if args.trace:
+        # validate up front: a missing or non-trace file should fail in
+        # milliseconds, not after the report drivers have run
+        from .engine import load_trace
+
+        try:
+            load_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: --trace {args.trace}: {exc}", file=sys.stderr)
+            return 1
+    text = generate_report(
+        table1_trials=args.trials, seed=args.seed, trace=args.trace
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -266,6 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    except OSError as exc:
+        # unwritable --trace/--svg/--save-* destinations and the like
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

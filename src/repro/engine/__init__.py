@@ -1,0 +1,53 @@
+"""The routing engine: batched, instrumented, executor-driven routing.
+
+This subsystem grows the paper's one-net-at-a-time router (§5) into a
+session-oriented engine in the spirit of modern parallel FPGA routers
+(ParaLarH, arXiv:2010.11893; the open-source parallel router of
+arXiv:2407.00009):
+
+* :class:`RoutingSession` — drives the move-to-front negotiation loop,
+  partitioning each pass's net queue into *congestion-independent
+  batches* (nets whose expanded bounding regions don't overlap) and
+  routing batches through a pluggable executor,
+* :mod:`repro.engine.batching` — the region-disjointness partitioner,
+* :mod:`repro.engine.executors` — ``serial`` / ``thread`` / ``process``
+  execution strategies with identical task semantics,
+* :mod:`repro.engine.instrumentation` — per-pass timings, Dijkstra
+  call/heap-pop/relaxation counters, cache accounting, congestion
+  histograms, and the JSON trace consumed by ``repro.analysis.report``.
+
+``engine="serial"`` is the default and is bit-identical to the seed
+``FPGARouter.route`` path; the parallel engines route each batch
+speculatively against a snapshot and fall back to serial re-routing on
+resource conflicts, so every result is always a valid (electrically
+disjoint) routing.
+"""
+
+from .batching import (
+    DEFAULT_BATCH_MARGIN,
+    net_region,
+    partition_batches,
+    regions_overlap,
+)
+from .executors import ENGINES, create_executor
+from .instrumentation import (
+    TRACE_SCHEMA,
+    congestion_histogram,
+    load_trace,
+    TraceRecorder,
+)
+from .session import RoutingSession
+
+__all__ = [
+    "RoutingSession",
+    "ENGINES",
+    "create_executor",
+    "DEFAULT_BATCH_MARGIN",
+    "net_region",
+    "partition_batches",
+    "regions_overlap",
+    "TraceRecorder",
+    "TRACE_SCHEMA",
+    "congestion_histogram",
+    "load_trace",
+]

@@ -1,0 +1,89 @@
+"""Partition a net queue into congestion-independent batches.
+
+Two nets can be routed concurrently when the routing resources each one
+may plausibly touch are disjoint.  The engine uses the classic region
+argument (ParaLarH and every bounding-box-scheduled router since):
+a net's route and the congestion updates it triggers stay, with
+overwhelming probability, inside its pin bounding box inflated by a
+small ``margin`` of channels; two nets whose inflated regions do not
+overlap therefore neither compete for tracks nor see each other's
+congestion re-weighting.
+
+Batches are *contiguous* runs of the pass's net queue: a batch is the
+maximal prefix of the remaining queue whose members are pairwise
+region-disjoint.  Contiguity preserves the seed router's commit order
+(batch results are committed in queue order), which keeps the parallel
+engines' outputs aligned with the serial negotiation schedule; a
+bin-packing partitioner could build larger batches but would reorder
+congestion updates relative to the serial reference.
+
+Speculation stays *safe* regardless of the margin: the session re-checks
+every speculative route against the live graph before committing and
+re-routes serially on conflict.  The margin only tunes how often that
+fallback fires.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+from ..fpga.netlist import PlacedNet
+
+#: inclusive channel-coordinate rectangle: (min_x, min_y, max_x, max_y)
+Region = Tuple[int, int, int, int]
+
+#: default bounding-box inflation, in channel units.  Matches the
+#: router's default Steiner-candidate depth: detours beyond two channels
+#: outside the pin bbox are rare at routable channel widths.
+DEFAULT_BATCH_MARGIN = 2
+
+
+def net_region(net: PlacedNet, margin: int = DEFAULT_BATCH_MARGIN) -> Region:
+    """The net's pin bounding box inflated by ``margin`` channels.
+
+    Coordinates are block coordinates; negative values are fine (regions
+    are only ever compared with each other, never clipped to the array).
+    """
+    x0, y0, x1, y1 = net.bounding_box()
+    return (x0 - margin, y0 - margin, x1 + margin, y1 + margin)
+
+
+def regions_overlap(a: Region, b: Region) -> bool:
+    """True if two inclusive rectangles share at least one point."""
+    ax0, ay0, ax1, ay1 = a
+    bx0, by0, bx1, by1 = b
+    return ax0 <= bx1 and bx0 <= ax1 and ay0 <= by1 and by0 <= ay1
+
+
+def partition_batches(
+    nets: Sequence[PlacedNet], margin: int = DEFAULT_BATCH_MARGIN
+) -> List[List[PlacedNet]]:
+    """Split ``nets`` (in order) into contiguous region-disjoint batches.
+
+    Every net appears in exactly one batch, batches concatenate back to
+    the input order, and within a batch all inflated bounding regions
+    are pairwise disjoint — the engine's precondition for routing them
+    concurrently.  Deterministic: no set iteration, no hashing.
+    """
+    batches: List[List[PlacedNet]] = []
+    current: List[PlacedNet] = []
+    current_regions: List[Region] = []
+    for net in nets:
+        region = net_region(net, margin)
+        if current and any(
+            regions_overlap(region, r) for r in current_regions
+        ):
+            batches.append(current)
+            current = [net]
+            current_regions = [region]
+        else:
+            current.append(net)
+            current_regions.append(region)
+    if current:
+        batches.append(current)
+    return batches
+
+
+def batch_sizes(batches: Sequence[Sequence[PlacedNet]]) -> List[int]:
+    """Convenience: the size profile the trace reports per pass."""
+    return [len(b) for b in batches]

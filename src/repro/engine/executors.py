@@ -1,0 +1,111 @@
+"""Execution strategies for routing a batch of independent net tasks.
+
+All three executors implement the same contract — ``map(fn, items)``
+returns ``[fn(item) for item in items]`` in input order — so the session
+is executor-agnostic and results are deterministic regardless of worker
+scheduling:
+
+* ``serial``  — list comprehension in the calling thread (the default;
+  zero overhead, reference semantics),
+* ``thread``  — :class:`concurrent.futures.ThreadPoolExecutor`; tasks
+  share the process, so the global Dijkstra counters and all node
+  objects are shared (Dijkstra on separate graph snapshots releases no
+  GIL, but I/O-free batches still overlap graph copies and C-level heap
+  work),
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; tasks
+  and results must be picklable, giving true CPU parallelism at the
+  price of snapshot serialization.
+
+Pools are created once per session and reused across batches and
+passes; :meth:`Executor.close` tears them down.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import RoutingError
+
+#: engine names accepted by RoutingSession / the CLI / repro.route()
+ENGINES = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class Executor:
+    """Order-preserving task mapper (see module docstring)."""
+
+    name = "base"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, one after another."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a shared thread pool."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or default_workers(),
+            thread_name_prefix="repro-engine",
+        )
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Run tasks on a process pool (tasks/results must pickle)."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers or default_workers()
+        )
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def create_executor(
+    engine: str, max_workers: Optional[int] = None
+) -> Executor:
+    """Build the executor for an engine name (one of :data:`ENGINES`)."""
+    if engine == "serial":
+        return SerialExecutor()
+    if engine == "thread":
+        return ThreadExecutor(max_workers)
+    if engine == "process":
+        return ProcessExecutor(max_workers)
+    raise RoutingError(
+        f"unknown engine {engine!r}; expected one of {ENGINES}"
+    )

@@ -1,0 +1,203 @@
+"""Structured observability for the routing engine.
+
+The engine emits one :class:`PassRecord` per move-to-front pass —
+wall-clock seconds, batch-size profile, routed/failed net counts,
+speculative-commit vs. conflict-fallback tallies, Dijkstra operation
+counters (delta for the pass), shortest-path-cache accounting, graph
+mutation counts, and a channel-utilization histogram — collected by a
+:class:`TraceRecorder` and dumped as a single JSON document.
+
+The trace is a stable, versioned schema (:data:`TRACE_SCHEMA`) so it
+can be consumed away from the process that produced it:
+``repro.analysis.report`` renders it into the markdown report and
+``python -m repro report --trace out.json`` does so from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, List, Optional, Union
+
+from ..fpga.routing_graph import RoutingResourceGraph
+
+#: current trace document schema identifier
+TRACE_SCHEMA = "repro.engine/trace-v1"
+
+#: channel-utilization histogram bucket count (utilization ∈ [0, 1])
+HISTOGRAM_BINS = 10
+
+
+def congestion_histogram(
+    rrg: RoutingResourceGraph, bins: int = HISTOGRAM_BINS
+) -> Dict[str, object]:
+    """Histogram of channel-span utilization over the whole device.
+
+    Utilization is the fraction of a span's tracks consumed
+    (:meth:`RoutingResourceGraph.group_utilization`).  Bucket ``i``
+    counts spans with utilization in ``[i/bins, (i+1)/bins)``; fully
+    used spans land in the last bucket.
+    """
+    counts = [0] * bins
+    total = 0.0
+    peak = 0.0
+    n = 0
+    for group in rrg.groups():
+        u = rrg.group_utilization(group)
+        idx = min(int(u * bins), bins - 1)
+        counts[idx] += 1
+        total += u
+        peak = max(peak, u)
+        n += 1
+    return {
+        "bins": bins,
+        "counts": counts,
+        "spans": n,
+        "mean": round(total / n, 4) if n else 0.0,
+        "max": round(peak, 4),
+    }
+
+
+@dataclass
+class PassRecord:
+    """Everything the engine observed during one routing pass."""
+
+    index: int
+    seconds: float
+    batch_sizes: List[int]
+    nets_routed: int
+    nets_failed: int
+    failed_nets: List[str]
+    #: nets committed straight from a speculative (parallel) route
+    speculative_commits: int
+    #: speculative routes invalidated by a conflict and re-routed serially
+    conflict_reroutes: int
+    #: nets routed inline (serial engine, singleton batches, two_pin)
+    serial_routes: int
+    dijkstra: Dict[str, int]
+    cache: Dict[str, int]
+    graph_mutations: int
+    congestion: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.index,
+            "seconds": round(self.seconds, 6),
+            "batches": len(self.batch_sizes),
+            "batch_sizes": self.batch_sizes,
+            "max_batch_size": max(self.batch_sizes, default=0),
+            "nets_routed": self.nets_routed,
+            "nets_failed": self.nets_failed,
+            "failed_nets": self.failed_nets,
+            "speculative_commits": self.speculative_commits,
+            "conflict_reroutes": self.conflict_reroutes,
+            "serial_routes": self.serial_routes,
+            "dijkstra": dict(self.dijkstra),
+            "cache": dict(self.cache),
+            "graph_mutations": self.graph_mutations,
+            "congestion": self.congestion,
+        }
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates pass records and session metadata into a trace doc."""
+
+    circuit: str
+    engine: str
+    architecture: Dict[str, object]
+    config: Dict[str, object]
+    passes: List[PassRecord] = field(default_factory=list)
+    outcome: str = "incomplete"
+    channel_width: Optional[int] = None
+    passes_used: Optional[int] = None
+    total_wirelength: Optional[float] = None
+
+    def record_pass(self, record: PassRecord) -> None:
+        self.passes.append(record)
+
+    def finish(
+        self,
+        outcome: str,
+        *,
+        passes_used: Optional[int] = None,
+        total_wirelength: Optional[float] = None,
+    ) -> None:
+        """Stamp the session outcome (``complete`` / ``unroutable``)."""
+        self.outcome = outcome
+        self.passes_used = passes_used
+        self.total_wirelength = (
+            round(total_wirelength, 4) if total_wirelength is not None else None
+        )
+
+    def totals(self) -> Dict[str, object]:
+        agg = {
+            "seconds": 0.0,
+            "nets_routed": 0,
+            "speculative_commits": 0,
+            "conflict_reroutes": 0,
+            "serial_routes": 0,
+            "graph_mutations": 0,
+        }
+        dijkstra = {"calls": 0, "heap_pops": 0, "relaxations": 0}
+        cache = {"hits": 0, "misses": 0, "invalidations": 0}
+        for p in self.passes:
+            agg["seconds"] += p.seconds
+            agg["nets_routed"] += p.nets_routed
+            agg["speculative_commits"] += p.speculative_commits
+            agg["conflict_reroutes"] += p.conflict_reroutes
+            agg["serial_routes"] += p.serial_routes
+            agg["graph_mutations"] += p.graph_mutations
+            for k in dijkstra:
+                dijkstra[k] += p.dijkstra.get(k, 0)
+            for k in cache:
+                cache[k] += p.cache.get(k, 0)
+        agg["seconds"] = round(agg["seconds"], 6)
+        agg["dijkstra"] = dijkstra
+        agg["cache"] = cache
+        agg["max_batch_size"] = max(
+            (max(p.batch_sizes, default=0) for p in self.passes), default=0
+        )
+        return agg
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "circuit": self.circuit,
+            "engine": self.engine,
+            "architecture": self.architecture,
+            "config": self.config,
+            "outcome": self.outcome,
+            "channel_width": self.channel_width,
+            "passes_used": self.passes_used,
+            "total_wirelength": self.total_wirelength,
+            "passes": [p.to_dict() for p in self.passes],
+            "totals": self.totals(),
+        }
+
+    def write(self, destination: Union[str, IO[str]]) -> None:
+        """Serialize the trace as JSON to a path or open text file."""
+        doc = self.to_dict()
+        if hasattr(destination, "write"):
+            json.dump(doc, destination, indent=2)
+            destination.write("\n")
+        else:
+            with open(destination, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+
+
+def load_trace(source: Union[str, IO[str]]) -> Dict[str, object]:
+    """Load and sanity-check a trace document written by ``write``."""
+    if hasattr(source, "read"):
+        doc = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"not an engine trace (schema {schema!r}, "
+            f"expected {TRACE_SCHEMA!r})"
+        )
+    return doc

@@ -1,0 +1,444 @@
+"""The routing session: batched, instrumented move-to-front routing.
+
+:class:`RoutingSession` is the engine's front door.  It reproduces the
+seed router's negotiation loop exactly — same net ordering, same
+move-to-front re-queueing, same stall detection, same pass budget — and
+adds, around that loop:
+
+* **batching** — each pass's queue is split into congestion-independent
+  batches (:mod:`repro.engine.batching`);
+* **pluggable execution** — ``serial`` routes nets one at a time (the
+  reference semantics, bit-identical to ``FPGARouter.route``);
+  ``thread`` / ``process`` route each multi-net batch *speculatively*
+  against per-net snapshots of the routing graph, then commit results
+  in queue order, re-routing serially whenever a speculative route
+  conflicts with resources another net just consumed;
+* **one shared** :class:`ShortestPathCache` across nets and passes,
+  with hit/miss/invalidation accounting, instead of a throwaway cache
+  per net;
+* **observability** — per-pass timings, Dijkstra operation counters,
+  cache statistics, graph mutation counts, congestion histograms, and
+  a JSON trace (:mod:`repro.engine.instrumentation`).
+
+Speculation is always *safe*: a speculative tree is committed only if
+every one of its edges is still present in the live graph, so routed
+nets remain electrically disjoint under every engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import RoutingError, UnroutableError
+from ..fpga.architecture import Architecture
+from ..fpga.netlist import PlacedCircuit, PlacedNet
+from ..fpga.routing_graph import RoutingResourceGraph
+from ..graph.core import Graph
+from ..graph.shortest_paths import (
+    DijkstraCounters,
+    ShortestPathCache,
+    set_dijkstra_counters,
+)
+from ..router.config import RouterConfig
+from ..router.congestion import CongestionModel
+from ..router.result import NetRoute, RoutingResult, measure_route
+from ..router.router import FPGARouter
+from .batching import DEFAULT_BATCH_MARGIN, partition_batches
+from .executors import ENGINES, Executor, create_executor
+from .instrumentation import (
+    PassRecord,
+    TraceRecorder,
+    congestion_histogram,
+)
+from .worker import INFEASIBLE, ROUTED, NetTask, run_net_task
+
+
+class RoutingSession:
+    """Routes placed circuits through a chosen execution engine.
+
+    Parameters
+    ----------
+    arch:
+        Target architecture instance (fixes the channel width).
+    config:
+        Router configuration; defaults to :class:`RouterConfig`.
+    engine:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.  Serial
+        is bit-identical to the seed ``FPGARouter.route`` path.
+    max_workers:
+        Pool size for the parallel engines (default: a small multiple
+        of the CPU count).
+    batch_margin:
+        Bounding-box inflation, in channels, used to declare two nets
+        congestion-independent (see :mod:`repro.engine.batching`).
+
+    A session may route several circuits; each :meth:`route` call
+    produces a fresh :attr:`trace`.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        config: Optional[RouterConfig] = None,
+        *,
+        engine: str = "serial",
+        max_workers: Optional[int] = None,
+        batch_margin: int = DEFAULT_BATCH_MARGIN,
+    ):
+        if engine not in ENGINES:
+            raise RoutingError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.arch = arch
+        self.config = config or RouterConfig()
+        self.engine = engine
+        self.max_workers = max_workers
+        self.batch_margin = batch_margin
+        self._router = FPGARouter(arch, self.config)
+        #: trace of the most recent route() call
+        self.trace: Optional[TraceRecorder] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def route(self, circuit: PlacedCircuit) -> RoutingResult:
+        """Route every net of ``circuit``; :class:`UnroutableError` when
+        the move-to-front pass budget is exhausted.
+
+        The negotiation schedule is the seed router's: every pass
+        restarts from a pristine graph with failed nets moved to the
+        front, and three consecutive non-improving passes abort early.
+        """
+        circuit.validate(self.arch.pins_per_block)
+        cfg = self.config
+        recorder = TraceRecorder(
+            circuit=circuit.name,
+            engine=self.engine,
+            architecture={
+                "name": self.arch.name,
+                "rows": self.arch.rows,
+                "cols": self.arch.cols,
+                "channel_width": self.arch.channel_width,
+            },
+            config={
+                "algorithm": cfg.algorithm,
+                "critical_algorithm": cfg.critical_algorithm,
+                "max_passes": cfg.max_passes,
+                "order": cfg.order,
+                "congestion": cfg.congestion,
+                "batch_margin": self.batch_margin,
+                "max_workers": self.max_workers,
+            },
+        )
+        recorder.channel_width = self.arch.channel_width
+        self.trace = recorder
+
+        counters = DijkstraCounters()
+        previous = set_dijkstra_counters(counters)
+        executor: Optional[Executor] = None
+        try:
+            if self.engine != "serial":
+                executor = create_executor(self.engine, self.max_workers)
+            return self._negotiate(circuit, recorder, counters, executor)
+        finally:
+            set_dijkstra_counters(previous)
+            if executor is not None:
+                executor.close()
+
+    def write_trace(self, destination) -> None:
+        """Write the most recent trace as JSON (path or open file)."""
+        if self.trace is None:
+            raise RoutingError("no trace recorded yet; call route() first")
+        self.trace.write(destination)
+
+    # ------------------------------------------------------------------
+    # the negotiation loop (seed-identical schedule)
+    # ------------------------------------------------------------------
+    def _negotiate(
+        self,
+        circuit: PlacedCircuit,
+        recorder: TraceRecorder,
+        counters: DijkstraCounters,
+        executor: Optional[Executor],
+    ) -> RoutingResult:
+        cfg = self.config
+        router = self._router
+        rrg = RoutingResourceGraph(self.arch)
+        order = router._initial_order(circuit.nets)
+        critical = router._critical_names(circuit)
+        cache = ShortestPathCache(rrg.graph)
+
+        mutations = [0]
+
+        def _mutation_hook(_version: int) -> None:
+            mutations[0] += 1
+
+        rrg.graph.add_version_hook(_mutation_hook)
+
+        last_failures: Optional[int] = None
+        stall = 0
+        for pass_no in range(1, cfg.max_passes + 1):
+            started = time.perf_counter()
+            counters_before = counters.snapshot()
+            cache_before = cache.stats()
+            mutations[0] = 0
+            if pass_no > 1:
+                rrg.reset()
+                cache.rebind(rrg.graph)
+                rrg.graph.add_version_hook(_mutation_hook)
+            rrg.detach_all_pins()
+            congestion = (
+                CongestionModel(rrg, cfg.congestion_alpha)
+                if cfg.congestion
+                else None
+            )
+            batches = partition_batches(order, self.batch_margin)
+
+            routes: List[NetRoute] = []
+            failed: List[PlacedNet] = []
+            succeeded: List[PlacedNet] = []
+            stats = {"speculative": 0, "conflicts": 0, "serial": 0}
+            worker_cache: Dict[str, int] = {}
+            for batch in batches:
+                self._route_batch(
+                    batch,
+                    rrg,
+                    congestion,
+                    critical,
+                    cache,
+                    executor,
+                    counters,
+                    routes,
+                    failed,
+                    succeeded,
+                    stats,
+                    worker_cache,
+                )
+
+            record = self._make_pass_record(
+                pass_no,
+                time.perf_counter() - started,
+                batches,
+                routes,
+                failed,
+                stats,
+                counters.snapshot(),
+                counters_before,
+                cache.stats(),
+                cache_before,
+                worker_cache,
+                mutations[0],
+                rrg,
+            )
+            recorder.record_pass(record)
+
+            if not failed:
+                result = RoutingResult(
+                    circuit=circuit.name,
+                    channel_width=self.arch.channel_width,
+                    algorithm=cfg.algorithm,
+                    passes_used=pass_no,
+                    routes=routes,
+                )
+                recorder.finish(
+                    "complete",
+                    passes_used=pass_no,
+                    total_wirelength=result.total_wirelength,
+                )
+                return result
+            # move-to-front re-ordering for the next pass
+            order = failed + succeeded
+            # stop early if passes stop improving (seed stall window)
+            if last_failures is not None and len(failed) >= last_failures:
+                stall += 1
+                if stall >= 3:
+                    recorder.finish("unroutable", passes_used=pass_no)
+                    raise UnroutableError(
+                        self.arch.channel_width,
+                        pass_no,
+                        [n.name for n in failed],
+                    )
+            else:
+                stall = 0
+            last_failures = len(failed)
+        recorder.finish("unroutable", passes_used=cfg.max_passes)
+        raise UnroutableError(
+            self.arch.channel_width,
+            cfg.max_passes,
+            [n.name for n in failed],
+        )
+
+    # ------------------------------------------------------------------
+    # batch routing
+    # ------------------------------------------------------------------
+    def _route_batch(
+        self,
+        batch: Sequence[PlacedNet],
+        rrg: RoutingResourceGraph,
+        congestion: Optional[CongestionModel],
+        critical: Set[str],
+        cache: ShortestPathCache,
+        executor: Optional[Executor],
+        counters: DijkstraCounters,
+        routes: List[NetRoute],
+        failed: List[PlacedNet],
+        succeeded: List[PlacedNet],
+        stats: Dict[str, int],
+        worker_cache: Dict[str, int],
+    ) -> None:
+        """Route one batch, appending outcomes in queue order."""
+        router = self._router
+
+        def serial_one(placed: PlacedNet) -> None:
+            route = router._route_one(
+                rrg, placed, congestion, critical, cache=cache
+            )
+            stats["serial"] += 1
+            if route is None:
+                failed.append(placed)
+            else:
+                routes.append(route)
+                succeeded.append(placed)
+
+        if executor is None or len(batch) == 1:
+            for placed in batch:
+                serial_one(placed)
+            return
+
+        # Speculative path: snapshot per net, route concurrently, then
+        # commit in queue order with conflict fallback.  two_pin nets
+        # commit resources *while* routing and cannot be speculated.
+        tasks: List[Optional[NetTask]] = []
+        for placed in batch:
+            algo = router.effective_algorithm(placed, critical)
+            if algo == "two_pin":
+                tasks.append(None)
+                continue
+            snapshot = rrg.graph.copy()
+            net = placed.to_graph_net()
+            rrg.attach_pins(net.terminals, graph=snapshot)
+            tasks.append(
+                NetTask(
+                    name=placed.name,
+                    net=net,
+                    algo=algo,
+                    config=self.config,
+                    graph=snapshot,
+                    collect_counters=(self.engine == "process"),
+                )
+            )
+        results = executor.map(
+            run_net_task, [t for t in tasks if t is not None]
+        )
+        results_iter = iter(results)
+
+        for placed, task in zip(batch, tasks):
+            if task is None:
+                serial_one(placed)
+                continue
+            result = next(results_iter)
+            dijkstra_snapshot = result.get("dijkstra")
+            if dijkstra_snapshot:
+                counters.merge(dijkstra_snapshot)
+            for key, value in (result.get("cache") or {}).items():
+                if isinstance(value, int):
+                    worker_cache[key] = worker_cache.get(key, 0) + value
+            if result["status"] == INFEASIBLE:
+                # Routing resources only shrink within a pass, so a net
+                # infeasible on its batch-start snapshot would also be
+                # infeasible at its serial slot.
+                failed.append(placed)
+                continue
+            route = self._commit_speculative(placed, result, rrg, congestion)
+            if route is not None:
+                stats["speculative"] += 1
+                routes.append(route)
+                succeeded.append(placed)
+            else:
+                stats["conflicts"] += 1
+                serial_one(placed)
+
+    def _commit_speculative(
+        self,
+        placed: PlacedNet,
+        result: Dict[str, object],
+        rrg: RoutingResourceGraph,
+        congestion: Optional[CongestionModel],
+    ) -> Optional[NetRoute]:
+        """Commit a speculative route if still conflict-free; else None."""
+        net = placed.to_graph_net()
+        graph = rrg.graph
+        rrg.attach_pins(net.terminals)
+        tree_edges: List[Tuple] = result["tree_edges"]  # type: ignore[assignment]
+        if not all(graph.has_edge(u, v) for u, v in tree_edges):
+            rrg.detach_pins(net.terminals)
+            return None
+        tree = Graph()
+        tree.add_node(net.source)
+        for u, v in tree_edges:
+            tree.add_edge(u, v, rrg.base_weight(u, v))
+        optimal = {
+            sink: sum(
+                rrg.base_weight(a, b) for a, b in zip(path, path[1:])
+            )
+            for sink, path in result["paths"].items()  # type: ignore[union-attr]
+        }
+        route = measure_route(
+            placed.name,
+            result["algorithm"],  # type: ignore[arg-type]
+            net.source,
+            net.sinks,
+            tree,
+            rrg.base_weight,
+            optimal_pathlengths=optimal,
+        )
+        touched = rrg.commit(tree)
+        if congestion is not None:
+            congestion.reweight_groups(touched)
+        return route
+
+    # ------------------------------------------------------------------
+    # instrumentation assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_pass_record(
+        pass_no: int,
+        seconds: float,
+        batches: Sequence[Sequence[PlacedNet]],
+        routes: Sequence[NetRoute],
+        failed: Sequence[PlacedNet],
+        stats: Dict[str, int],
+        counters_after: Dict[str, int],
+        counters_before: Dict[str, int],
+        cache_after: Dict[str, int],
+        cache_before: Dict[str, int],
+        worker_cache: Dict[str, int],
+        graph_mutations: int,
+        rrg: RoutingResourceGraph,
+    ) -> PassRecord:
+        dijkstra = {
+            k: counters_after[k] - counters_before.get(k, 0)
+            for k in ("calls", "heap_pops", "relaxations")
+        }
+        cache_delta = {
+            k: cache_after.get(k, 0) - cache_before.get(k, 0)
+            for k in ("hits", "misses", "invalidations")
+        }
+        for k in ("hits", "misses"):
+            cache_delta[k] += worker_cache.get(k, 0)
+        return PassRecord(
+            index=pass_no,
+            seconds=seconds,
+            batch_sizes=[len(b) for b in batches],
+            nets_routed=len(routes),
+            nets_failed=len(failed),
+            failed_nets=[n.name for n in failed],
+            speculative_commits=stats["speculative"],
+            conflict_reroutes=stats["conflicts"],
+            serial_routes=stats["serial"],
+            dijkstra=dijkstra,
+            cache=cache_delta,
+            graph_mutations=graph_mutations,
+            congestion=congestion_histogram(rrg),
+        )

@@ -1,0 +1,114 @@
+"""The speculative per-net routing task executed by engine workers.
+
+A :class:`NetTask` carries everything a worker needs to route one net
+*without touching shared state*: a snapshot of the routing graph with
+exactly this net's pins attached, the net itself, the resolved tree
+algorithm, and the router configuration.  The worker mirrors the serial
+router's per-net protocol (`FPGARouter._route_one`) minus the commit:
+feasibility pre-checks, congested shortest paths for the Table-5
+optimal-pathlength metric, then tree construction through the shared
+:func:`repro.router.router.route_net_tree` dispatch.
+
+Results are plain dicts of tuples/lists so they cross process
+boundaries unchanged.  The session re-validates every speculative tree
+against the live graph before committing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DisconnectedError, GraphError
+from ..graph.core import Graph
+from ..graph.shortest_paths import (
+    DijkstraCounters,
+    ShortestPathCache,
+    set_dijkstra_counters,
+)
+from ..net import Net
+from ..router.config import RouterConfig
+from ..router.router import route_net_tree
+
+#: task outcome markers
+ROUTED = "routed"
+INFEASIBLE = "infeasible"
+
+
+@dataclass
+class NetTask:
+    """One net's speculative routing job (picklable)."""
+
+    name: str
+    net: Net
+    algo: str
+    config: RouterConfig
+    #: routing-graph snapshot with this net's pins already attached
+    graph: Graph
+    #: True when the worker runs out-of-process and must ship its own
+    #: Dijkstra counters back with the result
+    collect_counters: bool = False
+
+
+def run_net_task(task: NetTask) -> Dict[str, object]:
+    """Route one net on its snapshot; never touches shared state.
+
+    Returns a dict with ``status`` (:data:`ROUTED`/:data:`INFEASIBLE`)
+    and, when routed, the tree's edge list, the congested shortest
+    source→sink node paths (for optimal-pathlength accounting), the
+    algorithm that produced the tree, and the worker's cache/Dijkstra
+    statistics.
+    """
+    counters: Optional[DijkstraCounters] = None
+    previous: Optional[DijkstraCounters] = None
+    if task.collect_counters:
+        # Out-of-process worker: install task-local counters even if a
+        # forked child inherited the parent's instance — recording into
+        # the inherited copy would be silently lost.  The snapshot
+        # travels back with the result instead.
+        counters = DijkstraCounters()
+        previous = set_dijkstra_counters(counters)
+    try:
+        return _run(task, counters)
+    finally:
+        if counters is not None:
+            set_dijkstra_counters(previous)
+
+
+def _run(
+    task: NetTask, counters: Optional[DijkstraCounters]
+) -> Dict[str, object]:
+    graph = task.graph
+    net = task.net
+
+    def done(payload: Dict[str, object]) -> Dict[str, object]:
+        if counters is not None:
+            payload["dijkstra"] = counters.snapshot()
+        return payload
+
+    for pin in net.terminals:
+        if not graph.has_node(pin) or graph.degree(pin) == 0:
+            return done({"name": task.name, "status": INFEASIBLE})
+    cache = ShortestPathCache(graph)
+    source_dist, _ = cache.sssp(net.source)
+    paths: Dict[object, List] = {}
+    for sink in net.sinks:
+        if sink not in source_dist:
+            return done({"name": task.name, "status": INFEASIBLE})
+    for sink in net.sinks:
+        paths[sink] = cache.path(net.source, sink)
+    try:
+        result = route_net_tree(graph, net, cache, task.algo, task.config)
+    except (DisconnectedError, GraphError):
+        return done({"name": task.name, "status": INFEASIBLE})
+    edges: List[Tuple] = [(u, v) for u, v, _ in result.tree.edges()]
+    return done(
+        {
+            "name": task.name,
+            "status": ROUTED,
+            "algorithm": result.algorithm,
+            "tree_edges": edges,
+            "paths": paths,
+            "cache": cache.stats(),
+        }
+    )

@@ -17,10 +17,13 @@ from .generators import (
     random_nets,
 )
 from .shortest_paths import (
+    DijkstraCounters,
     ShortestPathCache,
     dijkstra,
+    get_dijkstra_counters,
     path_cost,
     reconstruct_path,
+    set_dijkstra_counters,
     shortest_path,
 )
 from .spanning import UnionFind, dense_mst, kruskal_mst, mst_cost, prim_mst
@@ -43,8 +46,11 @@ __all__ = [
     "random_connected_graph",
     "random_net",
     "random_nets",
+    "DijkstraCounters",
     "ShortestPathCache",
     "dijkstra",
+    "get_dijkstra_counters",
+    "set_dijkstra_counters",
     "path_cost",
     "reconstruct_path",
     "shortest_path",

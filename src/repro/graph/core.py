@@ -19,7 +19,16 @@ small integers and grid coordinates.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..errors import GraphError
 
@@ -45,21 +54,47 @@ class Graph:
     ['a', 'c']
     """
 
-    __slots__ = ("_adj", "_num_edges", "_version")
+    __slots__ = ("_adj", "_num_edges", "_version", "_version_hooks")
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
         self._version = 0
+        self._version_hooks: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        """Advance the mutation counter and notify registered hooks."""
+        self._version += 1
+        if self._version_hooks:
+            version = self._version
+            for hook in self._version_hooks:
+                hook(version)
+
+    def add_version_hook(self, hook: Callable[[int], None]) -> None:
+        """Register ``hook(version)`` to fire after every mutation.
+
+        Hooks are the engine's observability tap: a
+        :class:`~repro.engine.instrumentation.PassRecorder` counts graph
+        mutations per routing pass without the router having to report
+        them.  Hooks must be cheap and must not mutate the graph.
+        """
+        self._version_hooks.append(hook)
+
+    def remove_version_hook(self, hook: Callable[[int], None]) -> None:
+        """Unregister a previously added hook (no-op if absent)."""
+        try:
+            self._version_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def add_node(self, node: Node) -> None:
         """Add ``node`` if not already present (idempotent)."""
         if node not in self._adj:
             self._adj[node] = {}
-            self._version += 1
+            self._bump()
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add an undirected edge ``{u, v}`` with the given ``weight``.
@@ -76,7 +111,7 @@ class Graph:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
-        self._version += 1
+        self._bump()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raise :class:`GraphError` if absent."""
@@ -86,7 +121,7 @@ class Graph:
         except KeyError:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
         self._num_edges -= 1
-        self._version += 1
+        self._bump()
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
@@ -97,7 +132,7 @@ class Graph:
         for other in neighbors:
             del self._adj[other][node]
         self._num_edges -= len(neighbors)
-        self._version += 1
+        self._bump()
 
     def set_weight(self, u: Node, v: Node, weight: float) -> None:
         """Update the weight of an existing edge."""
@@ -107,7 +142,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
         self._adj[u][v] = weight
         self._adj[v][u] = weight
-        self._version += 1
+        self._bump()
 
     def scale_weight(self, u: Node, v: Node, factor: float) -> None:
         """Multiply the weight of edge ``{u, v}`` by ``factor``."""
@@ -177,6 +212,17 @@ class Graph:
     def total_weight(self) -> float:
         """Sum of all edge weights."""
         return sum(w for _, _, w in self.edges())
+
+    # ------------------------------------------------------------------
+    # pickling (process-pool executors ship graph snapshots to workers;
+    # version hooks are observer callbacks and do not travel)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self._adj, self._num_edges, self._version)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._num_edges, self._version = state
+        self._version_hooks = []
 
     # ------------------------------------------------------------------
     # derived graphs

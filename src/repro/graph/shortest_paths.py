@@ -8,11 +8,26 @@ constructions only become practical once shortest-path computations are
 "factored out" and shared; :class:`ShortestPathCache` is that shared
 store, keyed by ``(source, graph.version)`` so any graph mutation
 transparently invalidates stale entries.
+
+Instrumentation.  The routing engine (:mod:`repro.engine`) accounts for
+every Dijkstra run: install a :class:`DijkstraCounters` with
+:func:`set_dijkstra_counters` and each call records its heap pops and
+edge relaxations there.  The cache keeps its own hit/miss/invalidation
+tallies (:meth:`ShortestPathCache.stats`).
+
+Partial runs.  ``targets``/``cutoff``-limited searches settle only a
+subset of the graph, so their ``dist`` maps are *not* valid single-source
+results: a node absent from a partial map may still be reachable.  The
+cache therefore stores limited runs under a distinct key that includes
+the limits (:meth:`ShortestPathCache.sssp_limited`) and never lets them
+satisfy full-query lookups; the reverse direction — answering a limited
+query from a cached *full* run — is always sound and is done eagerly.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import DisconnectedError, GraphError
@@ -20,6 +35,85 @@ from .core import Graph
 
 Node = Hashable
 INF = float("inf")
+
+#: cache entry: (dist, pred) of one Dijkstra run
+Entry = Tuple[Dict[Node, float], Dict[Node, Node]]
+
+
+class DijkstraCounters:
+    """Aggregated operation counts across Dijkstra runs.
+
+    ``calls`` is the number of :func:`dijkstra` invocations, ``heap_pops``
+    counts every pop (including stale entries), and ``relaxations``
+    counts successful edge relaxations (heap pushes).  ``record`` takes
+    one lock per *call*, not per operation, so multi-threaded engine
+    workers can share a single instance.
+    """
+
+    __slots__ = ("calls", "heap_pops", "relaxations", "_lock")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.heap_pops = 0
+        self.relaxations = 0
+        self._lock = threading.Lock()
+
+    def record(self, heap_pops: int, relaxations: int) -> None:
+        with self._lock:
+            self.calls += 1
+            self.heap_pops += heap_pops
+            self.relaxations += relaxations
+
+    def merge(self, snapshot: Dict[str, int]) -> None:
+        """Fold a worker's :meth:`snapshot` into this instance."""
+        with self._lock:
+            self.calls += snapshot.get("calls", 0)
+            self.heap_pops += snapshot.get("heap_pops", 0)
+            self.relaxations += snapshot.get("relaxations", 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "heap_pops": self.heap_pops,
+                "relaxations": self.relaxations,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.calls = 0
+            self.heap_pops = 0
+            self.relaxations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DijkstraCounters(calls={self.calls}, "
+            f"heap_pops={self.heap_pops}, relaxations={self.relaxations})"
+        )
+
+
+#: the currently-installed counters (None = no accounting overhead)
+_COUNTERS: Optional[DijkstraCounters] = None
+
+
+def set_dijkstra_counters(
+    counters: Optional[DijkstraCounters],
+) -> Optional[DijkstraCounters]:
+    """Install ``counters`` as the global Dijkstra accounting sink.
+
+    Returns the previously installed instance so callers can restore it
+    (the engine does this around each :class:`RoutingSession` run).
+    Passing ``None`` disables accounting.
+    """
+    global _COUNTERS
+    previous = _COUNTERS
+    _COUNTERS = counters
+    return previous
+
+
+def get_dijkstra_counters() -> Optional[DijkstraCounters]:
+    """The currently-installed :class:`DijkstraCounters`, if any."""
+    return _COUNTERS
 
 
 def dijkstra(
@@ -67,9 +161,11 @@ def dijkstra(
     pred: Dict[Node, Node] = {}
     seen = {source: 0.0}
     counter = 0
+    pops = 0
     heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
     while heap:
         d, _, u = heapq.heappop(heap)
+        pops += 1
         if u in dist:
             continue
         dist[u] = d
@@ -88,6 +184,9 @@ def dijkstra(
                 pred[v] = u
                 counter += 1
                 heapq.heappush(heap, (nd, counter, v))
+    counters = _COUNTERS
+    if counters is not None:
+        counters.record(pops, counter)
     return dist, pred
 
 
@@ -135,12 +234,27 @@ class ShortestPathCache:
     IGMST evaluates ``ΔH`` for every candidate node, and IDOM calls DOM
     ``O(|V|·|N|)`` times — both become tractable because every call reuses
     the same terminal-rooted shortest-path trees.
+
+    Limited runs (``targets``/``cutoff``) are second-class citizens: they
+    live in a separate store keyed by their limits and can never answer a
+    full query (see :meth:`sssp_limited`).
+
+    Accounting: ``hits``/``misses`` count lookups answered from /
+    absent from the store; ``invalidations`` counts version-change (or
+    :meth:`rebind`) events that actually dropped entries, and
+    ``entries_invalidated`` the total number of entries dropped.
     """
 
     def __init__(self, graph: Graph):
         self._graph = graph
-        self._store: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
+        self._store: Dict[Node, Entry] = {}
+        #: limited runs, keyed (source, frozenset(targets) | None, cutoff)
+        self._partial_store: Dict[Tuple, Entry] = {}
         self._version = graph.version
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.entries_invalidated = 0
 
     @property
     def graph(self) -> Graph:
@@ -148,16 +262,106 @@ class ShortestPathCache:
 
     def _check_version(self) -> None:
         if self._graph.version != self._version:
-            self._store.clear()
+            dropped = len(self._store) + len(self._partial_store)
+            if dropped:
+                self.invalidations += 1
+                self.entries_invalidated += dropped
+                self._store.clear()
+                self._partial_store.clear()
             self._version = self._graph.version
 
-    def sssp(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
-        """Full shortest-path tree from ``source`` (memoized)."""
+    def rebind(self, graph: Graph) -> None:
+        """Point the cache at a replacement graph, dropping all entries.
+
+        The engine calls this when the routing-resource graph is rebuilt
+        between passes (:meth:`RoutingResourceGraph.reset` swaps in a
+        fresh :class:`Graph` object, so version comparison alone cannot
+        detect the change).
+        """
+        dropped = len(self._store) + len(self._partial_store)
+        if dropped:
+            self.invalidations += 1
+            self.entries_invalidated += dropped
+            self._store.clear()
+            self._partial_store.clear()
+        self._graph = graph
+        self._version = graph.version
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries_invalidated": self.entries_invalidated,
+            "entries": len(self._store),
+            "partial_entries": len(self._partial_store),
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.entries_invalidated = 0
+
+    def sssp(self, source: Node) -> Entry:
+        """Full shortest-path tree from ``source`` (memoized).
+
+        Only complete, untruncated runs are stored under the plain
+        ``source`` key — a partial entry for the same source (from
+        :meth:`sssp_limited`) is never promoted to answer this query.
+        """
         self._check_version()
         entry = self._store.get(source)
         if entry is None:
+            self.misses += 1
             entry = dijkstra(self._graph, source)
             self._store[source] = entry
+        else:
+            self.hits += 1
+        return entry
+
+    @staticmethod
+    def _partial_key(
+        source: Node,
+        targets: Optional[Iterable[Node]],
+        cutoff: Optional[float],
+    ) -> Tuple:
+        targets_key = None if targets is None else frozenset(targets)
+        return (source, targets_key, cutoff)
+
+    def sssp_limited(
+        self,
+        source: Node,
+        targets: Optional[Iterable[Node]] = None,
+        cutoff: Optional[float] = None,
+    ) -> Entry:
+        """A ``targets``/``cutoff``-limited run, memoized under its limits.
+
+        A cached *full* run for ``source`` answers any limited query (a
+        complete ``dist`` map dominates every truncation of itself), but
+        a limited result is stored only under its ``(source, targets,
+        cutoff)`` key: its ``dist`` map is incomplete, and letting it
+        satisfy a later full query would silently report reachable nodes
+        as unreachable.
+        """
+        if targets is None and cutoff is None:
+            return self.sssp(source)
+        self._check_version()
+        full = self._store.get(source)
+        if full is not None:
+            self.hits += 1
+            return full
+        key = self._partial_key(source, targets, cutoff)
+        entry = self._partial_store.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = dijkstra(
+                self._graph, source, targets=targets, cutoff=cutoff
+            )
+            self._partial_store[key] = entry
+        else:
+            self.hits += 1
         return entry
 
     def dist(self, source: Node, target: Node) -> float:
@@ -165,11 +369,15 @@ class ShortestPathCache:
 
         Answered from whichever endpoint is already cached (the graph is
         undirected so ``d(u,v) == d(v,u)``), preferring ``source``.
+        Partial entries are never consulted: an absent node in a limited
+        ``dist`` map does not mean "unreachable".
         """
         self._check_version()
         if source in self._store:
+            self.hits += 1
             return self._store[source][0].get(target, INF)
         if target in self._store:
+            self.hits += 1
             return self._store[target][0].get(source, INF)
         return self.sssp(source)[0].get(target, INF)
 
@@ -177,6 +385,7 @@ class ShortestPathCache:
         """One shortest path ``source .. target`` as a node list."""
         self._check_version()
         if source in self._store:
+            self.hits += 1
             dist, pred = self._store[source]
             if target not in dist:
                 raise DisconnectedError(source, target)

@@ -20,7 +20,6 @@ from ..fpga.architecture import Architecture
 from ..fpga.netlist import PlacedCircuit
 from .config import RouterConfig
 from .result import RoutingResult
-from .router import FPGARouter
 
 
 def estimate_lower_bound(circuit: PlacedCircuit) -> int:
@@ -56,6 +55,10 @@ def minimum_channel_width(
     w_start: Optional[int] = None,
     w_max: int = 40,
     pins_per_block: Optional[int] = None,
+    *,
+    engine: str = "serial",
+    max_workers: Optional[int] = None,
+    trace=None,
 ) -> Tuple[int, RoutingResult]:
     """Find the smallest W at which ``circuit`` routes completely.
 
@@ -75,12 +78,23 @@ def minimum_channel_width(
     pins_per_block:
         Override the architecture's pin-slot count (must cover the
         circuit's placement).
+    engine:
+        Routing-engine name (``serial``/``thread``/``process``); the
+        default serial engine is bit-identical to the historical
+        :class:`FPGARouter` path.
+    max_workers:
+        Worker-pool size for the parallel engines.
+    trace:
+        Path or open text file: write the JSON engine trace of the
+        *successful* width attempt there.
 
     Returns
     -------
     (width, result):
         The minimum width and the complete routing obtained there.
     """
+    from ..engine import RoutingSession  # lazy: avoids an import cycle
+
     start = w_start if w_start is not None else estimate_lower_bound(circuit)
     start = max(1, start)
     last_error: Optional[UnroutableError] = None
@@ -90,12 +104,16 @@ def minimum_channel_width(
             from dataclasses import replace
 
             arch = replace(arch, pins_per_block=pins_per_block)
-        router = FPGARouter(arch, config)
+        session = RoutingSession(
+            arch, config, engine=engine, max_workers=max_workers
+        )
         try:
-            result = router.route(circuit)
+            result = session.route(circuit)
         except UnroutableError as exc:
             last_error = exc
             continue
+        if trace is not None:
+            session.write_trace(trace)
         return width, result
     raise RoutingError(
         f"{circuit.name}: unroutable up to W={w_max} "

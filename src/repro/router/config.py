@@ -21,9 +21,13 @@ ALGORITHMS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class RouterConfig:
     """Tunable behaviour of :class:`repro.router.router.FPGARouter`.
+
+    All fields are keyword-only: ``RouterConfig(algorithm="kmb",
+    max_passes=5)``.  Positional construction was never part of the
+    documented API and silently broke whenever a field was added.
 
     Parameters
     ----------

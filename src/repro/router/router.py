@@ -82,6 +82,61 @@ def steiner_candidates_near_tree(
     )
 
 
+def route_net_tree(
+    graph: Graph,
+    net: Net,
+    cache: ShortestPathCache,
+    algo: str,
+    cfg: RouterConfig,
+) -> RoutingTree:
+    """Build one net's routing tree with the given tree algorithm.
+
+    Module-level so the engine's executor workers (which may run in
+    other processes) dispatch through exactly the same code path as the
+    serial router — any divergence here would break the engine's
+    serial/parallel equivalence.  ``two_pin`` is not a tree construction
+    and is handled by the router itself.
+    """
+    if algo == "kmb":
+        return kmb(graph, net, cache)
+    if algo == "zel":
+        return zel(graph, net, cache)
+    if algo == "djka":
+        return djka(graph, net, cache)
+    if algo == "dom":
+        return dom(graph, net, cache)
+    if algo == "pfa":
+        return pfa(graph, net, cache)
+    if algo in ("ikmb", "izel"):
+        heuristic = KMB_HEURISTIC if algo == "ikmb" else ZEL_HEURISTIC
+        seed_fn = kmb_tree_graph if algo == "ikmb" else zel_tree_graph
+        seed = seed_fn(graph, net.terminals, cache)
+        candidates = steiner_candidates_near_tree(
+            graph, seed, cfg.steiner_candidate_depth
+        )
+        return igmst(
+            graph,
+            net,
+            heuristic=heuristic,
+            cache=cache,
+            candidates=candidates,
+            max_steiner_nodes=cfg.max_steiner_nodes,
+        )
+    if algo == "idom":
+        seed = dom_tree_graph(graph, net.source, net.sinks, cache)
+        candidates = steiner_candidates_near_tree(
+            graph, seed, cfg.steiner_candidate_depth
+        )
+        return idom(
+            graph,
+            net,
+            cache=cache,
+            candidates=candidates,
+            max_steiner_nodes=cfg.max_steiner_nodes,
+        )
+    raise RoutingError(f"algorithm {algo!r} not dispatchable here")
+
+
 class FPGARouter:
     """Routes a placed circuit onto one architecture instance."""
 
@@ -135,47 +190,9 @@ class FPGARouter:
         algo: Optional[str] = None,
     ) -> RoutingTree:
         """Build one net's routing tree with the given algorithm."""
-        cfg = self.config
-        graph = rrg.graph
-        algo = algo or cfg.algorithm
-        if algo == "kmb":
-            return kmb(graph, net, cache)
-        if algo == "zel":
-            return zel(graph, net, cache)
-        if algo == "djka":
-            return djka(graph, net, cache)
-        if algo == "dom":
-            return dom(graph, net, cache)
-        if algo == "pfa":
-            return pfa(graph, net, cache)
-        if algo in ("ikmb", "izel"):
-            heuristic = KMB_HEURISTIC if algo == "ikmb" else ZEL_HEURISTIC
-            seed_fn = kmb_tree_graph if algo == "ikmb" else zel_tree_graph
-            seed = seed_fn(graph, net.terminals, cache)
-            candidates = steiner_candidates_near_tree(
-                graph, seed, cfg.steiner_candidate_depth
-            )
-            return igmst(
-                graph,
-                net,
-                heuristic=heuristic,
-                cache=cache,
-                candidates=candidates,
-                max_steiner_nodes=cfg.max_steiner_nodes,
-            )
-        if algo == "idom":
-            seed = dom_tree_graph(graph, net.source, net.sinks, cache)
-            candidates = steiner_candidates_near_tree(
-                graph, seed, cfg.steiner_candidate_depth
-            )
-            return idom(
-                graph,
-                net,
-                cache=cache,
-                candidates=candidates,
-                max_steiner_nodes=cfg.max_steiner_nodes,
-            )
-        raise RoutingError(f"algorithm {algo!r} not dispatchable here")
+        return route_net_tree(
+            rrg.graph, net, cache, algo or self.config.algorithm, self.config
+        )
 
     def _route_two_pin_net(
         self,
@@ -289,25 +306,40 @@ class FPGARouter:
             [n.name for n in failed],
         )
 
+    def effective_algorithm(
+        self, placed: PlacedNet, critical: Optional[Set[str]]
+    ) -> str:
+        """The tree algorithm this net routes with (critical-aware)."""
+        algo = self.config.algorithm
+        if critical and placed.name in critical:
+            algo = self.config.critical_algorithm or algo
+        return algo
+
     def _route_one(
         self,
         rrg: RoutingResourceGraph,
         placed: PlacedNet,
         congestion: Optional[CongestionModel],
         critical: Optional[Set[str]] = None,
+        cache: Optional[ShortestPathCache] = None,
     ) -> Optional[NetRoute]:
-        """Route a single net on the current graph; None on infeasibility."""
+        """Route a single net on the current graph; None on infeasibility.
+
+        ``cache`` lets the engine share one :class:`ShortestPathCache`
+        across nets and passes; omitted, a fresh per-net cache is used
+        (the seed behaviour).  Because the cache is purely memoizing and
+        version-invalidated, the two modes produce identical routes.
+        """
         net = placed.to_graph_net()
-        algo = self.config.algorithm
-        if critical and placed.name in critical:
-            algo = self.config.critical_algorithm or algo
+        algo = self.effective_algorithm(placed, critical)
         graph = rrg.graph
         rrg.attach_pins(net.terminals)
         for pin in net.terminals:
             if graph.degree(pin) == 0:
                 rrg.detach_pins(net.terminals)
                 return None
-        cache = ShortestPathCache(graph)
+        if cache is None:
+            cache = ShortestPathCache(graph)
         # record the graph-optimal pathlengths *before* routing, for the
         # pathlength-stretch metrics of Table 5
         source_dist, _ = cache.sssp(net.source)
@@ -381,5 +413,21 @@ def route_circuit(
     arch: Architecture,
     config: Optional[RouterConfig] = None,
 ) -> RoutingResult:
-    """One-shot convenience wrapper around :class:`FPGARouter`."""
-    return FPGARouter(arch, config).route(circuit)
+    """Deprecated one-shot wrapper; use :func:`repro.route` instead.
+
+    Kept as a thin shim over the engine so existing callers keep
+    working: a serial :class:`~repro.engine.RoutingSession` is
+    bit-identical to the historical ``FPGARouter(arch, config).route()``
+    path.
+    """
+    import warnings
+
+    warnings.warn(
+        "route_circuit() is deprecated; use repro.route(circuit, "
+        "arch=arch, config=config) or repro.engine.RoutingSession",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..engine import RoutingSession
+
+    return RoutingSession(arch, config=config).route(circuit)
