@@ -39,12 +39,16 @@ from .arborescence import (
 )
 from .errors import (
     ArchitectureError,
+    CheckpointError,
     DisconnectedError,
+    EngineError,
+    EngineTimeoutError,
     GraphError,
     NetError,
     ReproError,
     RoutingError,
     UnroutableError,
+    WorkerCrashError,
 )
 from .graph import (
     Graph,
@@ -80,6 +84,8 @@ def route(
     fraction=1.0,
     seed=1,
     w_max=40,
+    checkpoint=None,
+    resume=None,
 ):
     """Route a circuit — the library's one-call front door.
 
@@ -109,6 +115,15 @@ def route(
         circuit scale (1.0 = published size) and synthesis seed.
     w_max:
         Upper bound for the minimum-width search when ``arch`` is None.
+    checkpoint:
+        File to snapshot the negotiation state into after every
+        committed pass (removed again on success); see
+        :mod:`repro.engine.checkpoint`.
+    resume:
+        Checkpoint file from an interrupted run to continue from —
+        the resumed run is bit-identical to an uninterrupted one.
+        With ``arch`` given the file must exist; in width-search mode
+        a missing file simply starts the sweep fresh.
 
     Returns
     -------
@@ -147,7 +162,7 @@ def route(
         session = RoutingSession(
             arch, config, engine=engine, max_workers=max_workers
         )
-        result = session.route(circuit)
+        result = session.route(circuit, checkpoint=checkpoint, resume=resume)
         if trace is not None:
             session.write_trace(trace)
         return result
@@ -161,6 +176,8 @@ def route(
         engine=engine,
         max_workers=max_workers,
         trace=trace,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     return result
 
@@ -206,6 +223,10 @@ __all__ = [
     "ArchitectureError",
     "RoutingError",
     "UnroutableError",
+    "EngineError",
+    "WorkerCrashError",
+    "EngineTimeoutError",
+    "CheckpointError",
     # substrate
     "Graph",
     "ShortestPathCache",

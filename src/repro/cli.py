@@ -32,7 +32,7 @@ from typing import List, Optional
 from .analysis import run_table1
 from .analysis.tables import render_table
 from .engine import ENGINES
-from .errors import ReproError
+from .errors import EngineTimeoutError, ReproError, UnroutableError
 from .fpga import (
     XC3000_CIRCUITS,
     XC4000_CIRCUITS,
@@ -49,12 +49,15 @@ def _family(spec):
     return xc3000 if spec.family == "xc3000" else xc4000
 
 
-def _add_engine_options(parser, *, seed_default: int, trace_help: str) -> None:
+def _add_engine_options(
+    parser, *, seed_default: int, trace_help: str, checkpointing: bool = False
+) -> None:
     """The shared ``--engine/--seed/--passes/--trace`` option group.
 
     Hidden aliases keep the pre-redesign spellings working:
     ``--max-passes`` (for ``--passes``) and ``--trace-file`` (for
-    ``--trace``).
+    ``--trace``).  ``checkpointing`` adds ``--checkpoint/--resume`` for
+    the commands that actually run routing sessions.
     """
     group = parser.add_argument_group("engine options")
     group.add_argument(
@@ -76,6 +79,21 @@ def _add_engine_options(parser, *, seed_default: int, trace_help: str) -> None:
     group.add_argument(
         "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS
     )
+    if checkpointing:
+        group.add_argument(
+            "--checkpoint", metavar="PATH",
+            help=(
+                "snapshot the negotiation state to PATH after every "
+                "committed pass (removed on success)"
+            ),
+        )
+        group.add_argument(
+            "--resume", metavar="PATH",
+            help=(
+                "continue from a checkpoint written by an interrupted "
+                "run; the result is bit-identical to an uninterrupted one"
+            ),
+        )
 
 
 def _check_trace_destination(path) -> None:
@@ -128,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_options(
         p_route, seed_default=1,
         trace_help="write the engine's JSON trace to PATH",
+        checkpointing=True,
     )
 
     p_width = sub.add_parser(
@@ -145,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "write the engine's JSON trace to PATH (with several "
             "algorithms, one file per algorithm: PATH.<algo>.json)"
         ),
+        checkpointing=True,
     )
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1")
@@ -182,6 +202,43 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_nets(names, limit: int = 10) -> str:
+    """Failed-net names for error output — names, not a bare count."""
+    names = list(names)
+    shown = ", ".join(str(n) for n in names[:limit])
+    extra = len(names) - limit
+    return shown + (f", ... +{extra} more" if extra > 0 else "")
+
+
+def _print_resilience_events(trace_path) -> None:
+    """Surface engine degradations/rebuilds/timeouts from a trace."""
+    from .engine import load_trace
+
+    try:
+        doc = load_trace(trace_path)
+    except (OSError, ValueError):
+        return
+    for event in doc.get("events", []):
+        kind = event.get("type")
+        if kind == "degraded":
+            print(
+                f"warning: engine degraded {event.get('from')} -> "
+                f"{event.get('to')} during pass {event.get('pass')} "
+                f"({event.get('error')})"
+            )
+        elif kind == "pool_rebuilt":
+            print(
+                f"warning: worker pool rebuilt during pass "
+                f"{event.get('pass')} ({event.get('error')})"
+            )
+    retries = doc.get("totals", {}).get("retries", 0)
+    if retries:
+        print(f"warning: {retries} task dispatch(es) were retried")
+    final = doc.get("engine_final")
+    if final and final != doc.get("engine"):
+        print(f"warning: run finished on the {final!r} engine")
+
+
 def _cmd_route(args) -> int:
     _check_trace_destination(args.trace)
     spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
@@ -193,6 +250,8 @@ def _cmd_route(args) -> int:
         _config(args, args.algorithm),
         engine=args.engine,
         trace=args.trace,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(
         f"complete routing at W={width} "
@@ -201,6 +260,7 @@ def _cmd_route(args) -> int:
     )
     if args.trace:
         print(f"trace written to {args.trace}")
+        _print_resilience_events(args.trace)
     family = _family(spec)
     arch = family(circuit.rows, circuit.cols, width)
     if args.map:
@@ -233,14 +293,25 @@ def _cmd_width(args) -> int:
     rows = []
     for algo in args.algorithms:
         trace = args.trace
-        if trace and len(args.algorithms) > 1:
-            trace = f"{trace}.{algo}.json"
+        checkpoint = args.checkpoint
+        resume = args.resume
+        if len(args.algorithms) > 1:
+            # per-algorithm files: the checkpoint fingerprint binds to
+            # one config, so algorithms must not share a file
+            if trace:
+                trace = f"{trace}.{algo}.json"
+            if checkpoint:
+                checkpoint = f"{checkpoint}.{algo}.json"
+            if resume:
+                resume = f"{resume}.{algo}.json"
         width, result = minimum_channel_width(
             circuit,
             _family(spec),
             _config(args, algo),
             engine=args.engine,
             trace=trace,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         rows.append(
             [algo, width, result.passes_used,
@@ -357,6 +428,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except UnroutableError as exc:
+        # exit 3: the run finished but the circuit did not route —
+        # distinct from usage errors (2) and internal failures (1)
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.failed_nets:
+            print(
+                f"  failed nets: {_format_nets(exc.failed_nets)}",
+                file=sys.stderr,
+            )
+        return 3
+    except EngineTimeoutError as exc:
+        print(f"error: {exc} (kind={exc.kind})", file=sys.stderr)
+        if exc.partial:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(exc.partial.items())
+            )
+            print(f"  partial progress: {detail}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -14,7 +14,15 @@ arXiv:2407.00009):
   execution strategies with identical task semantics,
 * :mod:`repro.engine.instrumentation` — per-pass timings, Dijkstra
   call/heap-pop/relaxation counters, cache accounting, congestion
-  histograms, and the JSON trace consumed by ``repro.analysis.report``.
+  histograms, resilience events, and the JSON trace consumed by
+  ``repro.analysis.report``,
+* :mod:`repro.engine.retry` / :class:`ExecutorSupervisor` — crashed
+  tasks retry with bounded deterministic backoff; a broken pool is
+  rebuilt once and then degraded ``process → thread → serial``,
+* :mod:`repro.engine.checkpoint` — versioned checkpoint/resume of the
+  negotiation state after every committed pass,
+* :mod:`repro.engine.faults` — the scripted fault-injection harness
+  (``REPRO_FAULTS``) the resilience tests and CI smoke job drive.
 
 ``engine="serial"`` is the default and is bit-identical to the seed
 ``FPGARouter.route`` path; the parallel engines route each batch
@@ -29,25 +37,48 @@ from .batching import (
     partition_batches,
     regions_overlap,
 )
-from .executors import ENGINES, create_executor
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .executors import (
+    DEGRADATION_LADDER,
+    ENGINES,
+    ExecutorSupervisor,
+    create_executor,
+)
+from .faults import FaultInjected, FaultPlan
 from .instrumentation import (
+    ACCEPTED_TRACE_SCHEMAS,
     TRACE_SCHEMA,
     congestion_histogram,
     load_trace,
     TraceRecorder,
 )
+from .retry import RetryPolicy, map_with_recovery
 from .session import RoutingSession
 
 __all__ = [
     "RoutingSession",
     "ENGINES",
+    "DEGRADATION_LADDER",
     "create_executor",
+    "ExecutorSupervisor",
     "DEFAULT_BATCH_MARGIN",
     "net_region",
     "partition_batches",
     "regions_overlap",
     "TraceRecorder",
     "TRACE_SCHEMA",
+    "ACCEPTED_TRACE_SCHEMAS",
     "congestion_histogram",
     "load_trace",
+    "CHECKPOINT_SCHEMA",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultPlan",
+    "FaultInjected",
+    "RetryPolicy",
+    "map_with_recovery",
 ]

@@ -1,0 +1,191 @@
+"""Versioned checkpoint/resume for routing sessions.
+
+The negotiation loop restarts every pass from a pristine routing graph,
+so the *entire* inter-pass state of a session is small and explicit:
+the net queue order for the next pass (move-to-front is the paper's
+only stateful heuristic), the stall-detection window, and the pass
+index.  A checkpoint written after committed pass *k* therefore lets a
+fresh process resume at pass *k + 1* and produce results bit-identical
+to a run that was never interrupted — the compatibility guarantee
+tests assert on width, wirelength and per-net routes.
+
+Format: a single JSON document::
+
+    {"schema": "repro.engine/checkpoint-v1",
+     "checksum": "<sha256 of the canonical state payload>",
+     "state": {circuit/config/arch fingerprints, engine,
+               channel_width, outcome, next_pass, order,
+               last_failures, stall, passes, events}}
+
+Writes are atomic (temp file + ``os.replace``) so an interrupt during
+checkpointing can never leave a half-written file; reads verify the
+schema and checksum and raise :class:`~repro.errors.CheckpointError`
+on any mismatch — a corrupt checkpoint is an explicit error, never a
+silently wrong resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..errors import CheckpointError
+
+#: current checkpoint document schema identifier
+CHECKPOINT_SCHEMA = "repro.engine/checkpoint-v1"
+
+
+def _canonical(state: Dict[str, Any]) -> str:
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(state: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(state).encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint(circuit) -> Dict[str, Any]:
+    """Identity of the placed circuit a checkpoint belongs to."""
+    return {
+        "name": circuit.name,
+        "rows": circuit.rows,
+        "cols": circuit.cols,
+        "nets": len(circuit.nets),
+    }
+
+
+def config_fingerprint(cfg) -> Dict[str, Any]:
+    """The config fields that influence the negotiation schedule."""
+    return {
+        "algorithm": cfg.algorithm,
+        "critical_algorithm": cfg.critical_algorithm,
+        "critical_fraction": cfg.critical_fraction,
+        "critical_nets": (
+            sorted(cfg.critical_nets) if cfg.critical_nets else None
+        ),
+        "max_passes": cfg.max_passes,
+        "order": cfg.order,
+        "congestion": cfg.congestion,
+        "congestion_alpha": cfg.congestion_alpha,
+        "steiner_candidate_depth": cfg.steiner_candidate_depth,
+        "max_steiner_nodes": cfg.max_steiner_nodes,
+    }
+
+
+def arch_fingerprint(arch) -> Dict[str, Any]:
+    """Identity of the architecture (fixes the channel width)."""
+    return {
+        "name": arch.name,
+        "rows": arch.rows,
+        "cols": arch.cols,
+        "channel_width": arch.channel_width,
+        "pins_per_block": arch.pins_per_block,
+    }
+
+
+def save_checkpoint(
+    path: str, state: Dict[str, Any], faults=None
+) -> None:
+    """Atomically write ``state`` as a checksummed checkpoint document.
+
+    ``faults`` (a :class:`~repro.engine.faults.FaultPlan`) may claim its
+    one-shot corruption fault here, in which case the stored checksum is
+    deliberately garbled — the fault-injection harness uses this to
+    prove that :func:`load_checkpoint` refuses damaged files.
+    """
+    checksum = _checksum(state)
+    if faults is not None and faults.should_corrupt_checkpoint():
+        checksum = "0" * len(checksum)
+    document = {
+        "schema": CHECKPOINT_SCHEMA,
+        "checksum": checksum,
+        "state": state,
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path!r}: {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - replace() failed
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def load_checkpoint(
+    path: str, *, missing_ok: bool = False
+) -> Optional[Dict[str, Any]]:
+    """Read, verify and return a checkpoint's ``state`` payload.
+
+    Returns ``None`` when the file does not exist and ``missing_ok``
+    is set (the width sweep's "resume if present" mode); every other
+    problem — unreadable file, wrong schema, checksum mismatch,
+    truncated JSON — raises :class:`CheckpointError`.
+    """
+    if not os.path.exists(path):
+        if missing_ok:
+            return None
+        raise CheckpointError(f"checkpoint {path!r} does not exist")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointError(f"checkpoint {path!r} is not a document")
+    schema = document.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema {schema!r}, "
+            f"expected {CHECKPOINT_SCHEMA!r}"
+        )
+    state = document.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError(f"checkpoint {path!r} has no state payload")
+    if document.get("checksum") != _checksum(state):
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its checksum — the file is "
+            f"corrupt or was edited; refusing to resume from it"
+        )
+    return state
+
+
+def check_compatible(
+    state: Dict[str, Any],
+    *,
+    circuit=None,
+    config=None,
+    arch=None,
+    path: str = "<checkpoint>",
+) -> None:
+    """Refuse to resume a checkpoint that belongs to a different run.
+
+    Each provided object is fingerprinted and compared against what the
+    checkpoint recorded; a mismatch raises :class:`CheckpointError`
+    naming the offending component.  The width sweep passes only
+    ``circuit``/``config`` (its architecture legitimately varies).
+    """
+    expected = {}
+    if circuit is not None:
+        expected["circuit"] = circuit_fingerprint(circuit)
+    if config is not None:
+        expected["config"] = config_fingerprint(config)
+    if arch is not None:
+        expected["arch"] = arch_fingerprint(arch)
+    for key, want in expected.items():
+        have = state.get(key)
+        if have != want:
+            raise CheckpointError(
+                f"{path}: checkpoint {key} fingerprint {have!r} does not "
+                f"match this run ({want!r}); refusing to resume"
+            )

@@ -17,24 +17,49 @@ scheduling:
   price of snapshot serialization.
 
 Pools are created once per session and reused across batches and
-passes; :meth:`Executor.close` tears them down.
+passes; :meth:`Executor.close` tears them down (executors are also
+context managers, so ``with create_executor("thread") as ex: ...``
+releases the pool even on error paths that bypass the session).
+
+Fault tolerance lives one level up: an :class:`ExecutorSupervisor` owns
+the live executor for a session and reacts to pool breakage — the first
+break rebuilds the same pool once, every later break degrades one rung
+down the ``process → thread → serial`` ladder, so a session always
+finishes with valid results on *some* executor.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..errors import RoutingError
+from ..errors import EngineError, RoutingError
 
 #: engine names accepted by RoutingSession / the CLI / repro.route()
 ENGINES = ("serial", "thread", "process")
+
+#: where a broken engine falls next (serial cannot break)
+DEGRADATION_LADDER = {"process": "thread", "thread": "serial"}
 
 
 def default_workers() -> int:
     """Worker count when the caller does not specify one."""
     return max(2, min(8, os.cpu_count() or 2))
+
+
+def _validated_workers(max_workers: Optional[int]) -> Optional[int]:
+    """Reject nonsensical pool sizes with a library error.
+
+    The stdlib pools raise a bare ``ValueError`` from deep inside
+    ``concurrent.futures``; surface the problem as an
+    :class:`EngineError` at the engine boundary instead.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise EngineError(
+            f"max_workers must be >= 1, got {max_workers!r}"
+        )
+    return max_workers
 
 
 class Executor:
@@ -47,6 +72,12 @@ class Executor:
 
     def close(self) -> None:
         """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -68,7 +99,7 @@ class ThreadExecutor(Executor):
 
     def __init__(self, max_workers: Optional[int] = None):
         self._pool = ThreadPoolExecutor(
-            max_workers=max_workers or default_workers(),
+            max_workers=_validated_workers(max_workers) or default_workers(),
             thread_name_prefix="repro-engine",
         )
 
@@ -76,7 +107,7 @@ class ThreadExecutor(Executor):
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 class ProcessExecutor(Executor):
@@ -86,20 +117,21 @@ class ProcessExecutor(Executor):
 
     def __init__(self, max_workers: Optional[int] = None):
         self._pool = ProcessPoolExecutor(
-            max_workers=max_workers or default_workers()
+            max_workers=_validated_workers(max_workers) or default_workers()
         )
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 def create_executor(
     engine: str, max_workers: Optional[int] = None
 ) -> Executor:
     """Build the executor for an engine name (one of :data:`ENGINES`)."""
+    _validated_workers(max_workers)
     if engine == "serial":
         return SerialExecutor()
     if engine == "thread":
@@ -109,3 +141,79 @@ def create_executor(
     raise RoutingError(
         f"unknown engine {engine!r}; expected one of {ENGINES}"
     )
+
+
+class ExecutorSupervisor:
+    """Owns a session's live executor and applies the recovery ladder.
+
+    Breakage policy (the resilience layer's contract): the *first*
+    time the pool breaks, it is rebuilt once at the same engine rung —
+    a single crashed worker should not cost the run its parallelism.
+    Every breakage after that degrades one rung (``process → thread →
+    serial``) for the remainder of the session; serial execution has
+    no pool and cannot break.  Each action is reported through
+    ``on_event`` so the trace records exactly what happened.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        max_workers: Optional[int] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
+        self.requested = engine
+        self.current = engine
+        self.max_workers = max_workers
+        self._on_event = on_event or (lambda event: None)
+        self._rebuilt = False
+        self._executor: Optional[Executor] = create_executor(
+            engine, max_workers
+        )
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            raise EngineError("executor supervisor is closed")
+        return self._executor
+
+    def handle_breakage(self, exc: BaseException) -> None:
+        """React to a broken pool: rebuild once, then degrade."""
+        broken, self._executor = self._executor, None
+        if broken is not None:
+            try:
+                broken.close()
+            except Exception:  # a broken pool may fail its own shutdown
+                pass
+        if not self._rebuilt:
+            self._rebuilt = True
+            self._executor = create_executor(self.current, self.max_workers)
+            self._on_event(
+                {
+                    "type": "pool_rebuilt",
+                    "engine": self.current,
+                    "error": repr(exc),
+                }
+            )
+            return
+        rung = DEGRADATION_LADDER.get(self.current, "serial")
+        self._on_event(
+            {
+                "type": "degraded",
+                "from": self.current,
+                "to": rung,
+                "error": repr(exc),
+            }
+        )
+        self.current = rung
+        self._executor = create_executor(rung, self.max_workers)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ExecutorSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

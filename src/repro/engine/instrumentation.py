@@ -22,7 +22,11 @@ from typing import IO, Dict, List, Optional, Union
 from ..fpga.routing_graph import RoutingResourceGraph
 
 #: current trace document schema identifier
-TRACE_SCHEMA = "repro.engine/trace-v1"
+TRACE_SCHEMA = "repro.engine/trace-v2"
+
+#: schemas :func:`load_trace` accepts (v2 added events/retries/resume
+#: fields without changing any v1 field, so v1 documents still render)
+ACCEPTED_TRACE_SCHEMAS = ("repro.engine/trace-v1", TRACE_SCHEMA)
 
 #: channel-utilization histogram bucket count (utilization ∈ [0, 1])
 HISTOGRAM_BINS = 10
@@ -78,6 +82,8 @@ class PassRecord:
     cache: Dict[str, int]
     graph_mutations: int
     congestion: Dict[str, object]
+    #: task dispatches re-attempted after a crash or pool breakage
+    retries: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -96,6 +102,7 @@ class PassRecord:
             "cache": dict(self.cache),
             "graph_mutations": self.graph_mutations,
             "congestion": self.congestion,
+            "retries": self.retries,
         }
 
 
@@ -112,9 +119,23 @@ class TraceRecorder:
     channel_width: Optional[int] = None
     passes_used: Optional[int] = None
     total_wirelength: Optional[float] = None
+    #: resilience events: retries, pool rebuilds, engine degradations,
+    #: timeouts, checkpoint writes — in occurrence order
+    events: List[Dict] = field(default_factory=list)
+    #: pass dicts restored from a checkpoint when the session resumed
+    restored_passes: List[Dict] = field(default_factory=list)
+    #: where the session resumed from (path + pass), if it did
+    resumed_from: Optional[Dict] = None
+    #: engine actually in use at the end of the run (differs from
+    #: ``engine`` only after a degradation)
+    engine_final: Optional[str] = None
 
     def record_pass(self, record: PassRecord) -> None:
         self.passes.append(record)
+
+    def record_event(self, event: Dict) -> None:
+        """Append one resilience event (retry/degradation/checkpoint)."""
+        self.events.append(dict(event))
 
     def finish(
         self,
@@ -130,6 +151,17 @@ class TraceRecorder:
             round(total_wirelength, 4) if total_wirelength is not None else None
         )
 
+    def pass_dicts(self) -> List[Dict]:
+        """Every pass as a serialized dict — restored ones first.
+
+        A resumed session's trace covers the *whole* logical run: the
+        passes replayed from the checkpoint plus the ones it routed
+        itself, with continuous pass numbering.
+        """
+        return list(self.restored_passes) + [
+            p.to_dict() for p in self.passes
+        ]
+
     def totals(self) -> Dict[str, object]:
         agg = {
             "seconds": 0.0,
@@ -138,25 +170,29 @@ class TraceRecorder:
             "conflict_reroutes": 0,
             "serial_routes": 0,
             "graph_mutations": 0,
+            "retries": 0,
         }
         dijkstra = {"calls": 0, "heap_pops": 0, "relaxations": 0}
         cache = {"hits": 0, "misses": 0, "invalidations": 0}
-        for p in self.passes:
-            agg["seconds"] += p.seconds
-            agg["nets_routed"] += p.nets_routed
-            agg["speculative_commits"] += p.speculative_commits
-            agg["conflict_reroutes"] += p.conflict_reroutes
-            agg["serial_routes"] += p.serial_routes
-            agg["graph_mutations"] += p.graph_mutations
+        passes = self.pass_dicts()
+        for p in passes:
+            agg["seconds"] += p.get("seconds", 0.0)
+            agg["nets_routed"] += p.get("nets_routed", 0)
+            agg["speculative_commits"] += p.get("speculative_commits", 0)
+            agg["conflict_reroutes"] += p.get("conflict_reroutes", 0)
+            agg["serial_routes"] += p.get("serial_routes", 0)
+            agg["graph_mutations"] += p.get("graph_mutations", 0)
+            agg["retries"] += p.get("retries", 0)
             for k in dijkstra:
-                dijkstra[k] += p.dijkstra.get(k, 0)
+                dijkstra[k] += p.get("dijkstra", {}).get(k, 0)
             for k in cache:
-                cache[k] += p.cache.get(k, 0)
+                cache[k] += p.get("cache", {}).get(k, 0)
         agg["seconds"] = round(agg["seconds"], 6)
         agg["dijkstra"] = dijkstra
         agg["cache"] = cache
         agg["max_batch_size"] = max(
-            (max(p.batch_sizes, default=0) for p in self.passes), default=0
+            (max(p.get("batch_sizes", []), default=0) for p in passes),
+            default=0,
         )
         return agg
 
@@ -165,13 +201,16 @@ class TraceRecorder:
             "schema": TRACE_SCHEMA,
             "circuit": self.circuit,
             "engine": self.engine,
+            "engine_final": self.engine_final or self.engine,
             "architecture": self.architecture,
             "config": self.config,
             "outcome": self.outcome,
             "channel_width": self.channel_width,
             "passes_used": self.passes_used,
             "total_wirelength": self.total_wirelength,
-            "passes": [p.to_dict() for p in self.passes],
+            "resumed_from": self.resumed_from,
+            "events": list(self.events),
+            "passes": self.pass_dicts(),
             "totals": self.totals(),
         }
 
@@ -195,9 +234,9 @@ def load_trace(source: Union[str, IO[str]]) -> Dict[str, object]:
         with open(source, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     schema = doc.get("schema")
-    if schema != TRACE_SCHEMA:
+    if schema not in ACCEPTED_TRACE_SCHEMAS:
         raise ValueError(
             f"not an engine trace (schema {schema!r}, "
-            f"expected {TRACE_SCHEMA!r})"
+            f"expected one of {ACCEPTED_TRACE_SCHEMAS!r})"
         )
     return doc

@@ -1,0 +1,145 @@
+"""Bounded, deterministic retry around executor task dispatch.
+
+``Executor.map`` is all-or-nothing: one crashed worker (or one task
+raising an unexpected exception) used to lose the whole batch and
+surface as a raw ``BrokenProcessPool`` traceback.  This module wraps
+the dispatch in the recovery protocol of the resilience layer:
+
+1. the whole batch is tried once on the live executor (the fast path —
+   zero overhead when nothing fails);
+2. on failure, the supervisor gets a chance to rebuild or degrade the
+   pool (:class:`repro.engine.executors.ExecutorSupervisor`), and every
+   task is then retried *individually* with bounded exponential backoff
+   whose jitter comes from a seeded RNG, so a flaky run and its re-run
+   sleep the same schedule;
+3. a task that exhausts its retry budget is executed inline, in the
+   session's own thread, as a last resort — routing tasks are pure
+   functions of their snapshot, so re-execution anywhere is safe;
+4. only when even the inline execution fails does the task abort the
+   run, as a :class:`~repro.errors.WorkerCrashError`.
+
+:class:`~repro.errors.ReproError` subclasses raised by a task are
+*never* retried: they are semantic outcomes (deadline exceeded, bad
+configuration), not infrastructure crashes, and must propagate
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..errors import ReproError, WorkerCrashError
+from .executors import ExecutorSupervisor
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff knobs for one session's task dispatch.
+
+    ``delay(attempt, rng)`` grows exponentially from ``base_delay_s``,
+    saturates at ``max_delay_s``, and spreads by up to ``jitter`` of
+    itself using the caller's RNG — seed the RNG and the whole sleep
+    schedule is reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        return base * (1.0 + self.jitter * rng.random())
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def map_with_recovery(
+    supervisor: ExecutorSupervisor,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    policy: RetryPolicy,
+    on_event: Callable[[Dict[str, Any]], None],
+    sleep: Callable[[float], None] = time.sleep,
+) -> List[Any]:
+    """``[fn(item) for item in items]`` that survives worker failure.
+
+    Results come back in input order (the executor contract), whether
+    they were produced by the fast path, a rebuilt pool, a degraded
+    engine, or the inline last resort.  ``on_event`` receives one dict
+    per recovery action (``retry`` / ``redispatch`` /
+    ``inline_fallback``); pool rebuilds and degradations are reported
+    through the supervisor's own event callback.
+    """
+    items = list(items)
+    if not items:
+        return []
+    try:
+        return supervisor.executor.map(fn, items)
+    except ReproError:
+        raise
+    except BrokenExecutor as exc:
+        supervisor.handle_breakage(exc)
+        on_event(
+            {"type": "redispatch", "tasks": len(items), "error": repr(exc)}
+        )
+    except Exception as exc:
+        # one task crashed somewhere inside the batch; map() cannot say
+        # which, so fall through to the per-item path
+        on_event(
+            {"type": "redispatch", "tasks": len(items), "error": repr(exc)}
+        )
+    rng = policy.rng()
+    return [
+        _one_with_retry(supervisor, fn, item, policy, rng, on_event, sleep)
+        for item in items
+    ]
+
+
+def _one_with_retry(
+    supervisor: ExecutorSupervisor,
+    fn: Callable[[Any], Any],
+    item: Any,
+    policy: RetryPolicy,
+    rng: random.Random,
+    on_event: Callable[[Dict[str, Any]], None],
+    sleep: Callable[[float], None],
+) -> Any:
+    name = getattr(item, "name", None)
+    last: BaseException = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return supervisor.executor.map(fn, [item])[0]
+        except ReproError:
+            raise
+        except BrokenExecutor as exc:
+            last = exc
+            supervisor.handle_breakage(exc)
+        except Exception as exc:
+            last = exc
+        on_event(
+            {
+                "type": "retry",
+                "net": name,
+                "attempt": attempt + 1,
+                "error": repr(last),
+            }
+        )
+        sleep(policy.delay(attempt, rng))
+    # retries exhausted: run the task inline — it is a pure function of
+    # its snapshot, so the calling thread is as good a place as any
+    on_event({"type": "inline_fallback", "net": name, "error": repr(last)})
+    try:
+        return fn(item)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise WorkerCrashError(
+            name or "?", policy.max_attempts, exc
+        ) from exc

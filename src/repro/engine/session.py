@@ -13,12 +13,25 @@ adds, around that loop:
   against per-net snapshots of the routing graph, then commit results
   in queue order, re-routing serially whenever a speculative route
   conflicts with resources another net just consumed;
+* **fault tolerance** — crashed tasks are retried with bounded,
+  deterministic backoff (:mod:`repro.engine.retry`); a broken worker
+  pool is rebuilt once and then degraded ``process → thread → serial``
+  (:class:`~repro.engine.executors.ExecutorSupervisor`), so transient
+  infrastructure failure never invalidates a run;
+* **deadlines** — ``RouterConfig.pass_timeout_s`` bounds each pass,
+  ``route_timeout_s`` / ``max_relaxations`` bound each net's search;
+  exceeding a budget aborts cleanly with
+  :class:`~repro.errors.EngineTimeoutError` carrying partial stats;
+* **checkpoint/resume** — after every committed pass the negotiation
+  state can be snapshotted (:mod:`repro.engine.checkpoint`); resuming
+  continues bit-identically to an uninterrupted run;
 * **one shared** :class:`ShortestPathCache` across nets and passes,
   with hit/miss/invalidation accounting, instead of a throwaway cache
   per net;
 * **observability** — per-pass timings, Dijkstra operation counters,
-  cache statistics, graph mutation counts, congestion histograms, and
-  a JSON trace (:mod:`repro.engine.instrumentation`).
+  cache statistics, graph mutation counts, congestion histograms,
+  resilience events, and a JSON trace
+  (:mod:`repro.engine.instrumentation`).
 
 Speculation is always *safe*: a speculative tree is committed only if
 every one of its edges is still present in the live graph, so routed
@@ -27,10 +40,16 @@ nets remain electrically disjoint under every engine.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import RoutingError, UnroutableError
+from ..errors import (
+    CheckpointError,
+    EngineTimeoutError,
+    RoutingError,
+    UnroutableError,
+)
 from ..fpga.architecture import Architecture
 from ..fpga.netlist import PlacedCircuit, PlacedNet
 from ..fpga.routing_graph import RoutingResourceGraph
@@ -38,6 +57,7 @@ from ..graph.core import Graph
 from ..graph.shortest_paths import (
     DijkstraCounters,
     ShortestPathCache,
+    set_dijkstra_budget,
     set_dijkstra_counters,
 )
 from ..router.config import RouterConfig
@@ -45,13 +65,23 @@ from ..router.congestion import CongestionModel
 from ..router.result import NetRoute, RoutingResult, measure_route
 from ..router.router import FPGARouter
 from .batching import DEFAULT_BATCH_MARGIN, partition_batches
-from .executors import ENGINES, Executor, create_executor
+from .checkpoint import (
+    arch_fingerprint,
+    check_compatible,
+    circuit_fingerprint,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .executors import ENGINES, ExecutorSupervisor
+from .faults import FaultPlan
 from .instrumentation import (
     PassRecord,
     TraceRecorder,
     congestion_histogram,
 )
-from .worker import INFEASIBLE, ROUTED, NetTask, run_net_task
+from .retry import RetryPolicy, map_with_recovery
+from .worker import INFEASIBLE, NetTask, make_budget, run_net_task
 
 
 class RoutingSession:
@@ -72,9 +102,17 @@ class RoutingSession:
     batch_margin:
         Bounding-box inflation, in channels, used to declare two nets
         congestion-independent (see :mod:`repro.engine.batching`).
+    retry_policy:
+        Backoff schedule for crashed tasks (:class:`RetryPolicy`).
+    faults:
+        Scripted failure schedule for the fault-injection harness;
+        defaults to whatever ``REPRO_FAULTS`` describes (usually
+        nothing).
 
     A session may route several circuits; each :meth:`route` call
-    produces a fresh :attr:`trace`.
+    produces a fresh :attr:`trace`.  Sessions are context managers —
+    ``with RoutingSession(...) as s: ...`` guarantees worker pools are
+    released even when callers bypass :meth:`route`'s own cleanup.
     """
 
     def __init__(
@@ -85,6 +123,8 @@ class RoutingSession:
         engine: str = "serial",
         max_workers: Optional[int] = None,
         batch_margin: int = DEFAULT_BATCH_MARGIN,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if engine not in ENGINES:
             raise RoutingError(
@@ -95,20 +135,54 @@ class RoutingSession:
         self.engine = engine
         self.max_workers = max_workers
         self.batch_margin = batch_margin
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self._router = FPGARouter(arch, self.config)
+        self._supervisor: Optional[ExecutorSupervisor] = None
+        self._recorder: Optional[TraceRecorder] = None
+        self._current_pass = 0
+        self._task_counter = 0
         #: trace of the most recent route() call
         self.trace: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release any live worker pool (idempotent)."""
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
+
+    def __enter__(self) -> "RoutingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def route(self, circuit: PlacedCircuit) -> RoutingResult:
+    def route(
+        self,
+        circuit: PlacedCircuit,
+        *,
+        checkpoint: Optional[str] = None,
+        resume: Optional[str] = None,
+    ) -> RoutingResult:
         """Route every net of ``circuit``; :class:`UnroutableError` when
         the move-to-front pass budget is exhausted.
 
         The negotiation schedule is the seed router's: every pass
         restarts from a pristine graph with failed nets moved to the
         front, and three consecutive non-improving passes abort early.
+
+        ``checkpoint`` names a file to (re)write after every committed
+        pass — it is removed again on successful completion, so a file
+        left behind always marks an interrupted or unroutable run.
+        ``resume`` names a checkpoint written by a compatible earlier
+        run; the session continues at its recorded pass and produces
+        results bit-identical to an uninterrupted run.
         """
         circuit.validate(self.arch.pins_per_block)
         cfg = self.config
@@ -129,28 +203,114 @@ class RoutingSession:
                 "congestion": cfg.congestion,
                 "batch_margin": self.batch_margin,
                 "max_workers": self.max_workers,
+                "pass_timeout_s": cfg.pass_timeout_s,
+                "route_timeout_s": cfg.route_timeout_s,
+                "max_relaxations": cfg.max_relaxations,
             },
         )
         recorder.channel_width = self.arch.channel_width
         self.trace = recorder
+        self._recorder = recorder
+        self._current_pass = 0
+        self._task_counter = 0
 
         counters = DijkstraCounters()
         previous = set_dijkstra_counters(counters)
-        executor: Optional[Executor] = None
         try:
             if self.engine != "serial":
-                executor = create_executor(self.engine, self.max_workers)
-            return self._negotiate(circuit, recorder, counters, executor)
+                self._supervisor = ExecutorSupervisor(
+                    self.engine,
+                    self.max_workers,
+                    on_event=self._record_dispatch_event,
+                )
+            return self._negotiate(
+                circuit, recorder, counters, checkpoint, resume
+            )
+        except EngineTimeoutError as exc:
+            exc.partial.setdefault("circuit", circuit.name)
+            exc.partial.setdefault(
+                "passes_completed", len(recorder.pass_dicts())
+            )
+            recorder.record_event(
+                {
+                    "type": "timeout",
+                    "pass": self._current_pass,
+                    "kind": exc.kind,
+                    "error": str(exc),
+                }
+            )
+            recorder.finish("timeout")
+            raise
         finally:
             set_dijkstra_counters(previous)
-            if executor is not None:
-                executor.close()
+            recorder.engine_final = (
+                self._supervisor.current if self._supervisor else self.engine
+            )
+            self._recorder = None
+            self.close()
 
     def write_trace(self, destination) -> None:
         """Write the most recent trace as JSON (path or open file)."""
         if self.trace is None:
             raise RoutingError("no trace recorded yet; call route() first")
         self.trace.write(destination)
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _load_resume_state(
+        self, resume: str, circuit: PlacedCircuit
+    ) -> Dict[str, object]:
+        state = load_checkpoint(resume)
+        check_compatible(
+            state,
+            circuit=circuit,
+            config=self.config,
+            arch=self.arch,
+            path=resume,
+        )
+        if state.get("outcome") != "in_progress":
+            raise CheckpointError(
+                f"{resume}: checkpoint records a finished "
+                f"{state.get('outcome')!r} run; nothing to resume"
+            )
+        return state
+
+    def _write_checkpoint(
+        self,
+        path: str,
+        circuit: PlacedCircuit,
+        recorder: TraceRecorder,
+        *,
+        outcome: str,
+        next_pass: Optional[int],
+        order: Sequence[PlacedNet],
+        last_failures: Optional[int],
+        stall: int,
+    ) -> None:
+        state = {
+            "circuit": circuit_fingerprint(circuit),
+            "config": config_fingerprint(self.config),
+            "arch": arch_fingerprint(self.arch),
+            "engine": self.engine,
+            "channel_width": self.arch.channel_width,
+            "outcome": outcome,
+            "next_pass": next_pass,
+            "order": [n.name for n in order],
+            "last_failures": last_failures,
+            "stall": stall,
+            "passes": recorder.pass_dicts(),
+            "events": list(recorder.events),
+        }
+        save_checkpoint(path, state, faults=self.faults)
+        recorder.record_event(
+            {
+                "type": "checkpoint",
+                "pass": self._current_pass,
+                "path": path,
+                "outcome": outcome,
+            }
+        )
 
     # ------------------------------------------------------------------
     # the negotiation loop (seed-identical schedule)
@@ -160,7 +320,8 @@ class RoutingSession:
         circuit: PlacedCircuit,
         recorder: TraceRecorder,
         counters: DijkstraCounters,
-        executor: Optional[Executor],
+        checkpoint: Optional[str],
+        resume: Optional[str],
     ) -> RoutingResult:
         cfg = self.config
         router = self._router
@@ -169,6 +330,25 @@ class RoutingSession:
         critical = router._critical_names(circuit)
         cache = ShortestPathCache(rrg.graph)
 
+        start_pass = 1
+        last_failures: Optional[int] = None
+        stall = 0
+        if resume is not None:
+            state = self._load_resume_state(resume, circuit)
+            by_name = {n.name: n for n in circuit.nets}
+            try:
+                order = [by_name[name] for name in state["order"]]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"{resume}: checkpoint orders unknown net {exc}"
+                ) from None
+            start_pass = int(state["next_pass"])
+            last_failures = state["last_failures"]
+            stall = int(state["stall"])
+            recorder.restored_passes = list(state.get("passes", []))
+            recorder.events = list(state.get("events", []))
+            recorder.resumed_from = {"path": resume, "next_pass": start_pass}
+
         mutations = [0]
 
         def _mutation_hook(_version: int) -> None:
@@ -176,14 +356,19 @@ class RoutingSession:
 
         rrg.graph.add_version_hook(_mutation_hook)
 
-        last_failures: Optional[int] = None
-        stall = 0
-        for pass_no in range(1, cfg.max_passes + 1):
+        failed: List[PlacedNet] = []
+        for pass_no in range(start_pass, cfg.max_passes + 1):
+            self._current_pass = pass_no
             started = time.perf_counter()
+            deadline = (
+                started + cfg.pass_timeout_s
+                if cfg.pass_timeout_s is not None
+                else None
+            )
             counters_before = counters.snapshot()
             cache_before = cache.stats()
             mutations[0] = 0
-            if pass_no > 1:
+            if pass_no > start_pass or (pass_no > 1 and resume is None):
                 rrg.reset()
                 cache.rebind(rrg.graph)
                 rrg.graph.add_version_hook(_mutation_hook)
@@ -196,9 +381,11 @@ class RoutingSession:
             batches = partition_batches(order, self.batch_margin)
 
             routes: List[NetRoute] = []
-            failed: List[PlacedNet] = []
+            failed = []
             succeeded: List[PlacedNet] = []
-            stats = {"speculative": 0, "conflicts": 0, "serial": 0}
+            stats = {
+                "speculative": 0, "conflicts": 0, "serial": 0, "retries": 0,
+            }
             worker_cache: Dict[str, int] = {}
             for batch in batches:
                 self._route_batch(
@@ -207,13 +394,14 @@ class RoutingSession:
                     congestion,
                     critical,
                     cache,
-                    executor,
                     counters,
                     routes,
                     failed,
                     succeeded,
                     stats,
                     worker_cache,
+                    pass_no,
+                    deadline,
                 )
 
             record = self._make_pass_record(
@@ -246,6 +434,9 @@ class RoutingSession:
                     passes_used=pass_no,
                     total_wirelength=result.total_wirelength,
                 )
+                if checkpoint is not None and os.path.exists(checkpoint):
+                    # a checkpoint only ever marks unfinished work
+                    os.unlink(checkpoint)
                 return result
             # move-to-front re-ordering for the next pass
             order = failed + succeeded
@@ -254,6 +445,13 @@ class RoutingSession:
                 stall += 1
                 if stall >= 3:
                     recorder.finish("unroutable", passes_used=pass_no)
+                    if checkpoint is not None:
+                        self._write_checkpoint(
+                            checkpoint, circuit, recorder,
+                            outcome="unroutable", next_pass=None,
+                            order=order, last_failures=last_failures,
+                            stall=stall,
+                        )
                     raise UnroutableError(
                         self.arch.channel_width,
                         pass_no,
@@ -262,12 +460,71 @@ class RoutingSession:
             else:
                 stall = 0
             last_failures = len(failed)
+            if checkpoint is not None:
+                self._write_checkpoint(
+                    checkpoint, circuit, recorder,
+                    outcome="in_progress", next_pass=pass_no + 1,
+                    order=order, last_failures=last_failures, stall=stall,
+                )
         recorder.finish("unroutable", passes_used=cfg.max_passes)
+        if checkpoint is not None:
+            self._write_checkpoint(
+                checkpoint, circuit, recorder,
+                outcome="unroutable", next_pass=None,
+                order=order, last_failures=last_failures, stall=stall,
+            )
         raise UnroutableError(
             self.arch.channel_width,
             cfg.max_passes,
             [n.name for n in failed],
         )
+
+    # ------------------------------------------------------------------
+    # recovery-aware dispatch
+    # ------------------------------------------------------------------
+    def _record_dispatch_event(self, event: Dict[str, object]) -> None:
+        if self._recorder is not None:
+            enriched = dict(event)
+            enriched.setdefault("pass", self._current_pass)
+            self._recorder.record_event(enriched)
+
+    def _dispatch(
+        self, tasks: Sequence[NetTask], stats: Dict[str, int]
+    ) -> List[Dict[str, object]]:
+        """Run one batch of tasks through the supervised executor."""
+
+        def on_event(event: Dict[str, object]) -> None:
+            self._record_dispatch_event(event)
+            if event.get("type") in ("retry", "redispatch"):
+                stats["retries"] += 1
+
+        return map_with_recovery(
+            self._supervisor,
+            run_net_task,
+            tasks,
+            self.retry_policy,
+            on_event,
+        )
+
+    @staticmethod
+    def _check_deadline(
+        deadline: Optional[float],
+        pass_no: int,
+        budget_s: Optional[float],
+        routes: Sequence[NetRoute],
+        failed: Sequence[PlacedNet],
+    ) -> None:
+        if deadline is not None and time.perf_counter() > deadline:
+            raise EngineTimeoutError(
+                f"pass {pass_no} exceeded its {budget_s}s budget",
+                kind="pass",
+                budget=budget_s,
+                partial={
+                    "pass": pass_no,
+                    "nets_routed": len(routes),
+                    "nets_failed": len(failed),
+                },
+            )
 
     # ------------------------------------------------------------------
     # batch routing
@@ -279,21 +536,32 @@ class RoutingSession:
         congestion: Optional[CongestionModel],
         critical: Set[str],
         cache: ShortestPathCache,
-        executor: Optional[Executor],
         counters: DijkstraCounters,
         routes: List[NetRoute],
         failed: List[PlacedNet],
         succeeded: List[PlacedNet],
         stats: Dict[str, int],
         worker_cache: Dict[str, int],
+        pass_no: int,
+        deadline: Optional[float],
     ) -> None:
         """Route one batch, appending outcomes in queue order."""
         router = self._router
+        cfg = self.config
 
         def serial_one(placed: PlacedNet) -> None:
-            route = router._route_one(
-                rrg, placed, congestion, critical, cache=cache
+            self._check_deadline(
+                deadline, pass_no, cfg.pass_timeout_s, routes, failed
             )
+            budget = make_budget(cfg)
+            previous = set_dijkstra_budget(budget) if budget else None
+            try:
+                route = router._route_one(
+                    rrg, placed, congestion, critical, cache=cache
+                )
+            finally:
+                if budget is not None:
+                    set_dijkstra_budget(previous)
             stats["serial"] += 1
             if route is None:
                 failed.append(placed)
@@ -301,7 +569,8 @@ class RoutingSession:
                 routes.append(route)
                 succeeded.append(placed)
 
-        if executor is None or len(batch) == 1:
+        supervisor = self._supervisor
+        if supervisor is None or len(batch) == 1:
             for placed in batch:
                 serial_one(placed)
             return
@@ -309,6 +578,10 @@ class RoutingSession:
         # Speculative path: snapshot per net, route concurrently, then
         # commit in queue order with conflict fallback.  two_pin nets
         # commit resources *while* routing and cannot be speculated.
+        self._check_deadline(
+            deadline, pass_no, cfg.pass_timeout_s, routes, failed
+        )
+        collect_counters = supervisor.current == "process"
         tasks: List[Optional[NetTask]] = []
         for placed in batch:
             algo = router.effective_algorithm(placed, critical)
@@ -325,11 +598,14 @@ class RoutingSession:
                     algo=algo,
                     config=self.config,
                     graph=snapshot,
-                    collect_counters=(self.engine == "process"),
+                    collect_counters=collect_counters,
+                    index=self._task_counter,
+                    faults=self.faults,
                 )
             )
-        results = executor.map(
-            run_net_task, [t for t in tasks if t is not None]
+            self._task_counter += 1
+        results = self._dispatch(
+            [t for t in tasks if t is not None], stats
         )
         results_iter = iter(results)
 
@@ -441,4 +717,5 @@ class RoutingSession:
             cache=cache_delta,
             graph_mutations=graph_mutations,
             congestion=congestion_histogram(rrg),
+            retries=stats["retries"],
         )

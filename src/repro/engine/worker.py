@@ -16,19 +16,23 @@ against the live graph before committing it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DisconnectedError, GraphError
 from ..graph.core import Graph
 from ..graph.shortest_paths import (
+    DijkstraBudget,
     DijkstraCounters,
     ShortestPathCache,
+    set_dijkstra_budget,
     set_dijkstra_counters,
 )
 from ..net import Net
 from ..router.config import RouterConfig
 from ..router.router import route_net_tree
+from .faults import FaultPlan
 
 #: task outcome markers
 ROUTED = "routed"
@@ -48,6 +52,31 @@ class NetTask:
     #: True when the worker runs out-of-process and must ship its own
     #: Dijkstra counters back with the result
     collect_counters: bool = False
+    #: session-global dispatch index (grows across batches, passes and
+    #: re-dispatches) — the hook fault plans match against
+    index: int = 0
+    #: scripted failure schedule, if the session is under fault injection
+    faults: Optional[FaultPlan] = None
+
+
+def make_budget(config: RouterConfig) -> Optional[DijkstraBudget]:
+    """Per-net Dijkstra budget from the config's deadline knobs.
+
+    Returns ``None`` when neither ``route_timeout_s`` nor
+    ``max_relaxations`` is set, so unbudgeted runs stay on the
+    zero-overhead path.  The wall-clock deadline is anchored *now* —
+    call this immediately before routing the net it bounds.
+    """
+    if config.route_timeout_s is None and config.max_relaxations is None:
+        return None
+    deadline = (
+        time.perf_counter() + config.route_timeout_s
+        if config.route_timeout_s is not None
+        else None
+    )
+    return DijkstraBudget(
+        max_relaxations=config.max_relaxations, deadline=deadline
+    )
 
 
 def run_net_task(task: NetTask) -> Dict[str, object]:
@@ -59,6 +88,8 @@ def run_net_task(task: NetTask) -> Dict[str, object]:
     algorithm that produced the tree, and the worker's cache/Dijkstra
     statistics.
     """
+    if task.faults is not None:
+        task.faults.inject(task.index)
     counters: Optional[DijkstraCounters] = None
     previous: Optional[DijkstraCounters] = None
     if task.collect_counters:
@@ -68,9 +99,13 @@ def run_net_task(task: NetTask) -> Dict[str, object]:
         # travels back with the result instead.
         counters = DijkstraCounters()
         previous = set_dijkstra_counters(counters)
+    budget = make_budget(task.config)
+    previous_budget = set_dijkstra_budget(budget) if budget else None
     try:
         return _run(task, counters)
     finally:
+        if budget is not None:
+            set_dijkstra_budget(previous_budget)
         if counters is not None:
             set_dijkstra_counters(previous)
 

@@ -45,6 +45,79 @@ class RoutingError(ReproError):
     """The detailed router could not produce a complete routing."""
 
 
+class EngineError(ReproError):
+    """A failure in the routing engine's execution machinery.
+
+    Distinct from :class:`RoutingError`: the *circuit* may be perfectly
+    routable, but the session could not complete the run (crashed
+    workers, exhausted deadlines, unreadable checkpoints).
+    """
+
+
+class WorkerCrashError(EngineError):
+    """A routing task kept failing after every recovery path.
+
+    Raised only once the engine has exhausted its full recovery ladder
+    for one task: bounded retries with backoff, a pool rebuild or
+    engine degradation where applicable, and a final inline execution
+    in the session's own thread.
+    """
+
+    def __init__(self, net: str = "?", attempts: int = 0, cause=None):
+        self.net = net
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"net {net!r} crashed its routing task {attempts} time(s) "
+            f"and failed inline as well (last error: {cause!r})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.net, self.attempts, repr(self.cause)))
+
+
+class EngineTimeoutError(EngineError):
+    """A configured deadline or operation budget was exceeded.
+
+    ``kind`` is ``"pass"`` (``RouterConfig.pass_timeout_s``), ``"net"``
+    (``route_timeout_s``) or ``"relaxations"`` (``max_relaxations``).
+    ``partial`` carries whatever progress statistics the session had
+    accumulated when the budget fired (passes completed, nets routed,
+    elapsed seconds), so callers can report partial work.
+    """
+
+    def __init__(
+        self,
+        message: str = "engine deadline exceeded",
+        *,
+        kind: str = "pass",
+        budget=None,
+        elapsed=None,
+        partial=None,
+    ):
+        self.kind = kind
+        self.budget = budget
+        self.elapsed = elapsed
+        self.partial = dict(partial or {})
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0] if self.args else "engine deadline exceeded",),
+            {
+                "kind": self.kind,
+                "budget": self.budget,
+                "elapsed": self.elapsed,
+                "partial": self.partial,
+            },
+        )
+
+
+class CheckpointError(EngineError):
+    """A session checkpoint could not be written, read or validated."""
+
+
 class UnroutableError(RoutingError):
     """The circuit is unroutable at the requested channel width.
 

@@ -17,12 +17,15 @@ from .generators import (
     random_nets,
 )
 from .shortest_paths import (
+    DijkstraBudget,
     DijkstraCounters,
     ShortestPathCache,
     dijkstra,
+    get_dijkstra_budget,
     get_dijkstra_counters,
     path_cost,
     reconstruct_path,
+    set_dijkstra_budget,
     set_dijkstra_counters,
     shortest_path,
 )
@@ -46,10 +49,13 @@ __all__ = [
     "random_connected_graph",
     "random_net",
     "random_nets",
+    "DijkstraBudget",
     "DijkstraCounters",
     "ShortestPathCache",
     "dijkstra",
+    "get_dijkstra_budget",
     "get_dijkstra_counters",
+    "set_dijkstra_budget",
     "set_dijkstra_counters",
     "path_cost",
     "reconstruct_path",

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
-from ..errors import DisconnectedError, GraphError
+from ..errors import DisconnectedError, EngineTimeoutError, GraphError
 from .core import Graph
 
 Node = Hashable
@@ -90,6 +91,75 @@ class DijkstraCounters:
             f"DijkstraCounters(calls={self.calls}, "
             f"heap_pops={self.heap_pops}, relaxations={self.relaxations})"
         )
+
+
+class DijkstraBudget:
+    """Cooperative abort bound for Dijkstra runs.
+
+    The engine installs one of these (via :func:`set_dijkstra_budget`)
+    around each net's routing when ``RouterConfig.route_timeout_s`` or
+    ``max_relaxations`` is configured.  The search checks the budget on
+    every heap pop: a relaxation overrun fires exactly; the wall-clock
+    deadline is polled every 64 pops (plus once at the first pop), so a
+    hung search is interrupted within a bounded amount of extra work
+    instead of stalling the pass forever.
+    """
+
+    __slots__ = ("max_relaxations", "deadline")
+
+    def __init__(
+        self,
+        max_relaxations: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.max_relaxations = max_relaxations
+        self.deadline = deadline
+
+    def check(self, heap_pops: int, relaxations: int) -> None:
+        """Raise :class:`EngineTimeoutError` when the budget is blown."""
+        if (
+            self.max_relaxations is not None
+            and relaxations > self.max_relaxations
+        ):
+            raise EngineTimeoutError(
+                f"Dijkstra relaxation budget exhausted "
+                f"({relaxations} > {self.max_relaxations})",
+                kind="relaxations",
+                budget=self.max_relaxations,
+                elapsed=relaxations,
+            )
+        if self.deadline is not None and heap_pops % 64 == 1:
+            now = time.perf_counter()
+            if now > self.deadline:
+                raise EngineTimeoutError(
+                    "per-net routing deadline exceeded mid-search",
+                    kind="net",
+                    elapsed=now - self.deadline,
+                )
+
+
+#: the currently-installed budget (None = unbounded, zero overhead)
+_BUDGET: Optional[DijkstraBudget] = None
+
+
+def set_dijkstra_budget(
+    budget: Optional[DijkstraBudget],
+) -> Optional[DijkstraBudget]:
+    """Install ``budget`` as the global Dijkstra execution bound.
+
+    Returns the previously installed budget so callers can restore it
+    (the engine brackets each net's routing this way).  ``None``
+    removes any bound.
+    """
+    global _BUDGET
+    previous = _BUDGET
+    _BUDGET = budget
+    return previous
+
+
+def get_dijkstra_budget() -> Optional[DijkstraBudget]:
+    """The currently-installed :class:`DijkstraBudget`, if any."""
+    return _BUDGET
 
 
 #: the currently-installed counters (None = no accounting overhead)
@@ -162,10 +232,13 @@ def dijkstra(
     seen = {source: 0.0}
     counter = 0
     pops = 0
+    budget = _BUDGET
     heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
     while heap:
         d, _, u = heapq.heappop(heap)
         pops += 1
+        if budget is not None:
+            budget.check(pops, counter)
         if u in dist:
             continue
         dist[u] = d

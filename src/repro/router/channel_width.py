@@ -59,6 +59,8 @@ def minimum_channel_width(
     engine: str = "serial",
     max_workers: Optional[int] = None,
     trace=None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> Tuple[int, RoutingResult]:
     """Find the smallest W at which ``circuit`` routes completely.
 
@@ -87,6 +89,17 @@ def minimum_channel_width(
     trace:
         Path or open text file: write the JSON engine trace of the
         *successful* width attempt there.
+    checkpoint:
+        File to checkpoint the in-flight width attempt into after every
+        committed pass.  The same path is reused as the sweep advances
+        to wider channels (each attempt overwrites it), and the file is
+        removed once a width succeeds.
+    resume:
+        Checkpoint file from an interrupted sweep.  A missing file is
+        fine (the sweep simply starts fresh); an existing one restarts
+        the sweep at the checkpointed width — resuming mid-attempt if
+        that width was still in progress, or at the next width if the
+        checkpoint already recorded it as unroutable.
 
     Returns
     -------
@@ -94,9 +107,33 @@ def minimum_channel_width(
         The minimum width and the complete routing obtained there.
     """
     from ..engine import RoutingSession  # lazy: avoids an import cycle
+    from ..engine.checkpoint import check_compatible, load_checkpoint
+    from ..errors import CheckpointError
 
     start = w_start if w_start is not None else estimate_lower_bound(circuit)
     start = max(1, start)
+    resume_width: Optional[int] = None
+    if resume is not None:
+        state = load_checkpoint(resume, missing_ok=True)
+        if state is not None:
+            # The architecture legitimately varies across the sweep, so
+            # only the circuit and config must match.
+            check_compatible(
+                state, circuit=circuit, config=config or RouterConfig(),
+                path=resume,
+            )
+            width_seen = state.get("channel_width")
+            if not isinstance(width_seen, int):
+                raise CheckpointError(
+                    f"{resume}: checkpoint records no channel width"
+                )
+            if state.get("outcome") == "in_progress":
+                # resume inside this width's negotiation
+                resume_width = width_seen
+                start = width_seen
+            else:
+                # that width is settled (unroutable); skip past it
+                start = width_seen + 1
     last_error: Optional[UnroutableError] = None
     for width in range(start, w_max + 1):
         arch = family_builder(circuit.rows, circuit.cols, width)
@@ -108,14 +145,23 @@ def minimum_channel_width(
             arch, config, engine=engine, max_workers=max_workers
         )
         try:
-            result = session.route(circuit)
+            result = session.route(
+                circuit,
+                checkpoint=checkpoint,
+                resume=resume if width == resume_width else None,
+            )
         except UnroutableError as exc:
             last_error = exc
             continue
         if trace is not None:
             session.write_trace(trace)
         return width, result
-    raise RoutingError(
-        f"{circuit.name}: unroutable up to W={w_max} "
-        f"(last failure: {last_error})"
-    )
+    if last_error is not None:
+        # re-raise the widest attempt's failure so callers see *which*
+        # nets were still failing, not just that the sweep gave up
+        raise UnroutableError(
+            last_error.channel_width,
+            last_error.passes,
+            last_error.failed_nets,
+        ) from last_error
+    raise RoutingError(f"{circuit.name}: unroutable up to W={w_max}")

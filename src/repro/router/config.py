@@ -66,6 +66,19 @@ class RouterConfig:
         Alternatively, classify this fraction of nets (by descending
         half-perimeter — the long-path proxy the paper sketches) as
         critical.  Ignored when ``critical_nets`` is given.
+    pass_timeout_s:
+        Wall-clock budget for one move-to-front pass.  ``None`` (the
+        default) is unbounded; exceeding the budget aborts the session
+        with an :class:`~repro.errors.EngineTimeoutError` carrying the
+        partial progress statistics.
+    route_timeout_s:
+        Wall-clock budget for routing a single net (the deadline is
+        polled inside Dijkstra, so even a pathological search cannot
+        stall a pass).  ``None`` is unbounded.
+    max_relaxations:
+        Edge-relaxation budget for any single Dijkstra run — a hard
+        operation bound that is deterministic across machines, unlike
+        the wall-clock deadlines.  ``None`` is unbounded.
     """
 
     algorithm: str = "ikmb"
@@ -78,6 +91,9 @@ class RouterConfig:
     critical_algorithm: Optional[str] = None
     critical_nets: Optional[frozenset] = None
     critical_fraction: float = 0.0
+    pass_timeout_s: Optional[float] = None
+    route_timeout_s: Optional[float] = None
+    max_relaxations: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -103,6 +119,12 @@ class RouterConfig:
                 )
         if not 0.0 <= self.critical_fraction <= 1.0:
             raise RoutingError("critical_fraction must be in [0, 1]")
+        if self.pass_timeout_s is not None and self.pass_timeout_s <= 0:
+            raise RoutingError("pass_timeout_s must be positive")
+        if self.route_timeout_s is not None and self.route_timeout_s <= 0:
+            raise RoutingError("route_timeout_s must be positive")
+        if self.max_relaxations is not None and self.max_relaxations < 1:
+            raise RoutingError("max_relaxations must be >= 1")
         if self.critical_nets is not None and not isinstance(
             self.critical_nets, frozenset
         ):
