@@ -33,6 +33,7 @@ from .analysis import run_table1
 from .analysis.tables import render_table
 from .engine import ENGINES
 from .errors import EngineTimeoutError, ReproError, UnroutableError
+from .graph.search import SEARCH_BACKENDS
 from .fpga import (
     XC3000_CIRCUITS,
     XC4000_CIRCUITS,
@@ -75,6 +76,13 @@ def _add_engine_options(
     group.add_argument(
         "--max-passes", dest="passes", type=int, help=argparse.SUPPRESS
     )
+    group.add_argument(
+        "--search", choices=SEARCH_BACKENDS, default="auto",
+        help=(
+            "shortest-path kernel (RouterConfig.search); every backend "
+            "produces bit-identical routes"
+        ),
+    )
     group.add_argument("--trace", metavar="PATH", help=trace_help)
     group.add_argument(
         "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS
@@ -112,6 +120,9 @@ def _config(args, algorithm: str) -> RouterConfig:
     extra = {}
     if getattr(args, "passes", None) is not None:
         extra["max_passes"] = args.passes
+    search = getattr(args, "search", None)
+    if search is not None:
+        extra["search"] = search
     return RouterConfig(algorithm=algorithm, **extra)
 
 

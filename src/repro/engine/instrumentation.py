@@ -172,7 +172,12 @@ class TraceRecorder:
             "graph_mutations": 0,
             "retries": 0,
         }
-        dijkstra = {"calls": 0, "heap_pops": 0, "relaxations": 0}
+        dijkstra = {
+            "calls": 0,
+            "heap_pops": 0,
+            "relaxations": 0,
+            "pruned": 0,
+        }
         cache = {"hits": 0, "misses": 0, "invalidations": 0}
         passes = self.pass_dicts()
         for p in passes:

@@ -206,6 +206,7 @@ class RoutingSession:
                 "pass_timeout_s": cfg.pass_timeout_s,
                 "route_timeout_s": cfg.route_timeout_s,
                 "max_relaxations": cfg.max_relaxations,
+                "search": cfg.search,
             },
         )
         recorder.channel_width = self.arch.channel_width
@@ -328,7 +329,7 @@ class RoutingSession:
         rrg = RoutingResourceGraph(self.arch)
         order = router._initial_order(circuit.nets)
         critical = router._critical_names(circuit)
-        cache = ShortestPathCache(rrg.graph)
+        cache = ShortestPathCache(rrg.graph, search=router.search_policy())
 
         start_pass = 1
         last_failures: Optional[int] = None
@@ -506,6 +507,11 @@ class RoutingSession:
             on_event,
         )
 
+    def _heuristic_scale(self) -> Optional[float]:
+        """Trusted Manhattan scale shipped to workers (None if unusable)."""
+        scale = min(self.arch.segment_weight, self.arch.pin_weight)
+        return scale if scale > 0 else None
+
     @staticmethod
     def _check_deadline(
         deadline: Optional[float],
@@ -601,6 +607,7 @@ class RoutingSession:
                     collect_counters=collect_counters,
                     index=self._task_counter,
                     faults=self.faults,
+                    heuristic_scale=self._heuristic_scale(),
                 )
             )
             self._task_counter += 1
@@ -695,7 +702,7 @@ class RoutingSession:
     ) -> PassRecord:
         dijkstra = {
             k: counters_after[k] - counters_before.get(k, 0)
-            for k in ("calls", "heap_pops", "relaxations")
+            for k in ("calls", "heap_pops", "relaxations", "pruned")
         }
         cache_delta = {
             k: cache_after.get(k, 0) - cache_before.get(k, 0)

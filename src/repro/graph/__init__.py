@@ -29,6 +29,18 @@ from .shortest_paths import (
     set_dijkstra_counters,
     shortest_path,
 )
+from .search import (
+    SEARCH_BACKENDS,
+    Heuristic,
+    LandmarkIndex,
+    SearchPolicy,
+    astar,
+    bidirectional_dijkstra,
+    lattice_coordinate,
+    lattice_scale,
+    manhattan_heuristic,
+    multi_target_dijkstra,
+)
 from .spanning import UnionFind, dense_mst, kruskal_mst, mst_cost, prim_mst
 from .validation import (
     assert_valid_steiner_tree,
@@ -60,6 +72,16 @@ __all__ = [
     "path_cost",
     "reconstruct_path",
     "shortest_path",
+    "SEARCH_BACKENDS",
+    "Heuristic",
+    "LandmarkIndex",
+    "SearchPolicy",
+    "astar",
+    "bidirectional_dijkstra",
+    "lattice_coordinate",
+    "lattice_scale",
+    "manhattan_heuristic",
+    "multi_target_dijkstra",
     "UnionFind",
     "dense_mst",
     "kruskal_mst",

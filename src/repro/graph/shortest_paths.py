@@ -32,7 +32,7 @@ import time
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import DisconnectedError, EngineTimeoutError, GraphError
-from .core import Graph
+from .core import Graph, edge_key
 
 Node = Hashable
 INF = float("inf")
@@ -44,26 +44,33 @@ Entry = Tuple[Dict[Node, float], Dict[Node, Node]]
 class DijkstraCounters:
     """Aggregated operation counts across Dijkstra runs.
 
-    ``calls`` is the number of :func:`dijkstra` invocations, ``heap_pops``
-    counts every pop (including stale entries), and ``relaxations``
-    counts successful edge relaxations (heap pushes).  ``record`` takes
-    one lock per *call*, not per operation, so multi-threaded engine
-    workers can share a single instance.
+    ``calls`` is the number of search-kernel invocations (plain
+    Dijkstra, A*, or bidirectional), ``heap_pops`` counts every pop
+    (including stale entries), ``relaxations`` counts successful edge
+    relaxations (heap pushes), and ``pruned`` counts heap entries a
+    kernel abandoned unpopped at termination — the direct measure of
+    how much frontier an early exit or goal-directed bound cut off.
+    ``record`` takes one lock per *call*, not per operation, so
+    multi-threaded engine workers can share a single instance.
     """
 
-    __slots__ = ("calls", "heap_pops", "relaxations", "_lock")
+    __slots__ = ("calls", "heap_pops", "relaxations", "pruned", "_lock")
 
     def __init__(self) -> None:
         self.calls = 0
         self.heap_pops = 0
         self.relaxations = 0
+        self.pruned = 0
         self._lock = threading.Lock()
 
-    def record(self, heap_pops: int, relaxations: int) -> None:
+    def record(
+        self, heap_pops: int, relaxations: int, pruned: int = 0
+    ) -> None:
         with self._lock:
             self.calls += 1
             self.heap_pops += heap_pops
             self.relaxations += relaxations
+            self.pruned += pruned
 
     def merge(self, snapshot: Dict[str, int]) -> None:
         """Fold a worker's :meth:`snapshot` into this instance."""
@@ -71,6 +78,7 @@ class DijkstraCounters:
             self.calls += snapshot.get("calls", 0)
             self.heap_pops += snapshot.get("heap_pops", 0)
             self.relaxations += snapshot.get("relaxations", 0)
+            self.pruned += snapshot.get("pruned", 0)
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -78,6 +86,7 @@ class DijkstraCounters:
                 "calls": self.calls,
                 "heap_pops": self.heap_pops,
                 "relaxations": self.relaxations,
+                "pruned": self.pruned,
             }
 
     def reset(self) -> None:
@@ -85,11 +94,13 @@ class DijkstraCounters:
             self.calls = 0
             self.heap_pops = 0
             self.relaxations = 0
+            self.pruned = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DijkstraCounters(calls={self.calls}, "
-            f"heap_pops={self.heap_pops}, relaxations={self.relaxations})"
+            f"heap_pops={self.heap_pops}, "
+            f"relaxations={self.relaxations}, pruned={self.pruned})"
         )
 
 
@@ -115,8 +126,18 @@ class DijkstraBudget:
         self.max_relaxations = max_relaxations
         self.deadline = deadline
 
-    def check(self, heap_pops: int, relaxations: int) -> None:
-        """Raise :class:`EngineTimeoutError` when the budget is blown."""
+    def check(
+        self,
+        heap_pops: int,
+        relaxations: int,
+        backend: str = "dijkstra",
+    ) -> None:
+        """Raise :class:`EngineTimeoutError` when the budget is blown.
+
+        ``backend`` names the search kernel doing the work ("dijkstra",
+        "astar", "bidir"); it is carried in the error's ``partial``
+        stats so timeout reports identify which kernel was active.
+        """
         if (
             self.max_relaxations is not None
             and relaxations > self.max_relaxations
@@ -127,6 +148,11 @@ class DijkstraBudget:
                 kind="relaxations",
                 budget=self.max_relaxations,
                 elapsed=relaxations,
+                partial={
+                    "backend": backend,
+                    "heap_pops": heap_pops,
+                    "relaxations": relaxations,
+                },
             )
         if self.deadline is not None and heap_pops % 64 == 1:
             now = time.perf_counter()
@@ -135,6 +161,11 @@ class DijkstraBudget:
                     "per-net routing deadline exceeded mid-search",
                     kind="net",
                     elapsed=now - self.deadline,
+                    partial={
+                        "backend": backend,
+                        "heap_pops": heap_pops,
+                        "relaxations": relaxations,
+                    },
                 )
 
 
@@ -238,7 +269,7 @@ def dijkstra(
         d, _, u = heapq.heappop(heap)
         pops += 1
         if budget is not None:
-            budget.check(pops, counter)
+            budget.check(pops, counter, backend="dijkstra")
         if u in dist:
             continue
         dist[u] = d
@@ -259,7 +290,9 @@ def dijkstra(
                 heapq.heappush(heap, (nd, counter, v))
     counters = _COUNTERS
     if counters is not None:
-        counters.record(pops, counter)
+        # leftover heap entries were never popped: frontier pruned by
+        # an early exit / cutoff (plus stale duplicates on full runs)
+        counters.record(pops, counter, len(heap))
     return dist, pred
 
 
@@ -312,17 +345,55 @@ class ShortestPathCache:
     live in a separate store keyed by their limits and can never answer a
     full query (see :meth:`sssp_limited`).
 
+    Search policies.  Constructed with a
+    :class:`~repro.graph.search.SearchPolicy`, the cache answers
+    point-to-point queries with goal-directed kernels instead of full
+    SSSPs:
+
+    * :meth:`dist` consults a pair-distance store and computes misses
+      with the policy's kernel (A*/bidirectional).  Pair values are
+      exact, hence backend-independent — but kernel ``(dist, pred)``
+      maps are *never* stored where plain-Dijkstra results live: the
+      partial-store key carries the kernel name, and A*/bidirectional
+      results are reduced to bare floats.  An endpoint that keeps
+      missing (``_PAIR_PROMOTE`` kernel computes) is promoted to a full
+      SSSP so closure-style workloads never do worse than the plain
+      backend.
+    * :meth:`path` becomes *canonically source-rooted*: the path is
+      always reconstructed from a (possibly early-exit) plain Dijkstra
+      run rooted at the query's source, independent of what happens to
+      be cached.  An early-exit run's settled prefix is bit-identical
+      to the full run, so every search backend returns the identical
+      node sequence — this is what makes ``RouterConfig.search``
+      results indistinguishable across backends.
+
+    Without a policy the cache behaves exactly as it always has (plain
+    kernels, full-SSSP fallbacks).
+
     Accounting: ``hits``/``misses`` count lookups answered from /
     absent from the store; ``invalidations`` counts version-change (or
     :meth:`rebind`) events that actually dropped entries, and
     ``entries_invalidated`` the total number of entries dropped.
     """
 
-    def __init__(self, graph: Graph):
+    #: pair-query misses per endpoint before promoting it to a full SSSP
+    _PAIR_PROMOTE = 8
+
+    def __init__(self, graph: Graph, search=None):
         self._graph = graph
         self._store: Dict[Node, Entry] = {}
-        #: limited runs, keyed (source, frozenset(targets) | None, cutoff)
+        #: limited runs, keyed (source, frozenset(targets)|None, cutoff,
+        #: kernel) — the kernel component guarantees a goal-directed
+        #: run can never be served where a plain-Dijkstra result is
+        #: expected
         self._partial_store: Dict[Tuple, Entry] = {}
+        #: plain-Dijkstra partial keys per source, for coverage lookups
+        self._partial_index: Dict[Node, List[Tuple]] = {}
+        #: exact point-to-point distances, keyed (policy key, edge key)
+        self._pair_store: Dict[Tuple, float] = {}
+        #: kernel computes per endpoint (drives full-SSSP promotion)
+        self._pair_misses: Dict[Node, int] = {}
+        self._search = search
         self._version = graph.version
         self.hits = 0
         self.misses = 0
@@ -330,17 +401,33 @@ class ShortestPathCache:
         self.entries_invalidated = 0
 
     @property
+    def search(self):
+        """The attached :class:`SearchPolicy` (None = plain behaviour)."""
+        return self._search
+
+    @property
     def graph(self) -> Graph:
         return self._graph
 
+    def _drop_all(self) -> int:
+        dropped = (
+            len(self._store)
+            + len(self._partial_store)
+            + len(self._pair_store)
+        )
+        self._store.clear()
+        self._partial_store.clear()
+        self._partial_index.clear()
+        self._pair_store.clear()
+        self._pair_misses.clear()
+        return dropped
+
     def _check_version(self) -> None:
         if self._graph.version != self._version:
-            dropped = len(self._store) + len(self._partial_store)
+            dropped = self._drop_all()
             if dropped:
                 self.invalidations += 1
                 self.entries_invalidated += dropped
-                self._store.clear()
-                self._partial_store.clear()
             self._version = self._graph.version
 
     def rebind(self, graph: Graph) -> None:
@@ -351,12 +438,10 @@ class ShortestPathCache:
         fresh :class:`Graph` object, so version comparison alone cannot
         detect the change).
         """
-        dropped = len(self._store) + len(self._partial_store)
+        dropped = self._drop_all()
         if dropped:
             self.invalidations += 1
             self.entries_invalidated += dropped
-            self._store.clear()
-            self._partial_store.clear()
         self._graph = graph
         self._version = graph.version
 
@@ -369,6 +454,7 @@ class ShortestPathCache:
             "entries_invalidated": self.entries_invalidated,
             "entries": len(self._store),
             "partial_entries": len(self._partial_store),
+            "pair_entries": len(self._pair_store),
         }
 
     def reset_stats(self) -> None:
@@ -399,9 +485,32 @@ class ShortestPathCache:
         source: Node,
         targets: Optional[Iterable[Node]],
         cutoff: Optional[float],
+        kernel: str = "dijkstra",
     ) -> Tuple:
         targets_key = None if targets is None else frozenset(targets)
-        return (source, targets_key, cutoff)
+        return (source, targets_key, cutoff, kernel)
+
+    def _index_partial(self, source: Node, key: Tuple) -> None:
+        """Register a plain-Dijkstra partial entry for coverage lookups."""
+        self._partial_index.setdefault(source, []).append(key)
+
+    def _partial_covering(
+        self, source: Node, target: Node
+    ) -> Optional[Entry]:
+        """A plain-Dijkstra partial run from ``source`` that settled
+        ``target``, if one is stored.
+
+        A node *present* in a limited run's ``dist`` map was settled,
+        so its distance and predecessor chain are bit-identical to the
+        full run's (absence still proves nothing).
+        """
+        for key in self._partial_index.get(source, ()):
+            if key[3] != "dijkstra":
+                continue
+            entry = self._partial_store.get(key)
+            if entry is not None and target in entry[0]:
+                return entry
+        return None
 
     def sssp_limited(
         self,
@@ -433,6 +542,7 @@ class ShortestPathCache:
                 self._graph, source, targets=targets, cutoff=cutoff
             )
             self._partial_store[key] = entry
+            self._index_partial(source, key)
         else:
             self.hits += 1
         return entry
@@ -442,8 +552,12 @@ class ShortestPathCache:
 
         Answered from whichever endpoint is already cached (the graph is
         undirected so ``d(u,v) == d(v,u)``), preferring ``source``.
-        Partial entries are never consulted: an absent node in a limited
-        ``dist`` map does not mean "unreachable".
+        Without a search policy (or under the plain backend) a miss
+        falls back to a full SSSP from ``source`` — the historical
+        behaviour.  With a goal-directed policy, a miss consults the
+        pair-distance store and settled partial runs before running the
+        policy's kernel; all of these yield the exact distance, so the
+        answer is independent of the backend.
         """
         self._check_version()
         if source in self._store:
@@ -452,10 +566,53 @@ class ShortestPathCache:
         if target in self._store:
             self.hits += 1
             return self._store[target][0].get(source, INF)
-        return self.sssp(source)[0].get(target, INF)
+        policy = self._search
+        if policy is None or policy.backend == "dijkstra":
+            return self.sssp(source)[0].get(target, INF)
+        pair_key = (policy.key(), edge_key(source, target))
+        d = self._pair_store.get(pair_key)
+        if d is not None:
+            self.hits += 1
+            return d
+        entry = self._partial_covering(source, target)
+        if entry is not None:
+            self.hits += 1
+            d = entry[0][target]
+            self._pair_store[pair_key] = d
+            return d
+        entry = self._partial_covering(target, source)
+        if entry is not None:
+            self.hits += 1
+            d = entry[0][source]
+            self._pair_store[pair_key] = d
+            return d
+        # an endpoint that keeps triggering kernel runs is cheaper to
+        # warm once: promote it to a full (plain) SSSP, after which the
+        # whole closure around it answers from the store
+        nu = self._pair_misses.get(source, 0) + 1
+        self._pair_misses[source] = nu
+        nv = self._pair_misses.get(target, 0) + 1
+        self._pair_misses[target] = nv
+        if nu >= self._PAIR_PROMOTE:
+            d = self.sssp(source)[0].get(target, INF)
+        elif nv >= self._PAIR_PROMOTE:
+            d = self.sssp(target)[0].get(source, INF)
+        else:
+            self.misses += 1
+            d = policy.pair_distance(self._graph, source, target)
+        self._pair_store[pair_key] = d
+        return d
 
     def path(self, source: Node, target: Node) -> List[Node]:
-        """One shortest path ``source .. target`` as a node list."""
+        """One shortest path ``source .. target`` as a node list.
+
+        With a search policy attached the result is *canonical*: always
+        reconstructed from a source-rooted plain-Dijkstra run (cached
+        full tree, covering partial run, or a fresh early-exit run), so
+        the node sequence is the same under every search backend and
+        independent of cache history.  Without a policy, the historical
+        fallback reconstructs from a target-rooted full run instead.
+        """
         self._check_version()
         if source in self._store:
             self.hits += 1
@@ -463,12 +620,26 @@ class ShortestPathCache:
             if target not in dist:
                 raise DisconnectedError(source, target)
             return reconstruct_path(pred, source, target)
-        dist, pred = self.sssp(target)
-        if source not in dist:
+        if self._search is None:
+            dist, pred = self.sssp(target)
+            if source not in dist:
+                raise DisconnectedError(source, target)
+            path = reconstruct_path(pred, target, source)
+            path.reverse()
+            return path
+        entry = self._partial_covering(source, target)
+        if entry is None:
+            self.misses += 1
+            entry = dijkstra(self._graph, source, targets=[target])
+            key = self._partial_key(source, [target], None)
+            self._partial_store[key] = entry
+            self._index_partial(source, key)
+        else:
+            self.hits += 1
+        dist, pred = entry
+        if target not in dist:
             raise DisconnectedError(source, target)
-        path = reconstruct_path(pred, target, source)
-        path.reverse()
-        return path
+        return reconstruct_path(pred, source, target)
 
     def warm(self, sources: Iterable[Node]) -> None:
         """Pre-compute SSSPs from every node in ``sources``."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import RoutingError
+from ..graph.search import SEARCH_BACKENDS
 
 #: algorithms the router can dispatch per net
 ALGORITHMS = (
@@ -79,6 +80,18 @@ class RouterConfig:
         Edge-relaxation budget for any single Dijkstra run — a hard
         operation bound that is deterministic across machines, unlike
         the wall-clock deadlines.  ``None`` is unbounded.
+    search:
+        Shortest-path kernel selection, one of
+        :data:`~repro.graph.search.SEARCH_BACKENDS`.  ``"dijkstra"``
+        keeps plain Dijkstra everywhere (the reference profile);
+        ``"astar"`` answers point-to-point queries with goal-directed
+        search under the channel-lattice Manhattan lower bound;
+        ``"bidir"`` uses bidirectional Dijkstra; ``"auto"`` (the
+        default) picks A* when a heuristic is available and
+        bidirectional otherwise.  All backends produce bit-identical
+        routing trees — goal-directed kernels are used only for exact
+        distance queries, and canonical paths always come from plain
+        Dijkstra runs (see ``docs/search.md``).
     """
 
     algorithm: str = "ikmb"
@@ -94,8 +107,14 @@ class RouterConfig:
     pass_timeout_s: Optional[float] = None
     route_timeout_s: Optional[float] = None
     max_relaxations: Optional[int] = None
+    search: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.search not in SEARCH_BACKENDS:
+            raise RoutingError(
+                f"unknown search backend {self.search!r}; "
+                f"expected one of {SEARCH_BACKENDS}"
+            )
         if self.algorithm not in ALGORITHMS:
             raise RoutingError(
                 f"unknown algorithm {self.algorithm!r}; "

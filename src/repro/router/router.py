@@ -34,6 +34,7 @@ from ..fpga.architecture import Architecture
 from ..fpga.netlist import PlacedCircuit, PlacedNet
 from ..fpga.routing_graph import RoutingResourceGraph
 from ..graph.core import Graph
+from ..graph.search import SearchPolicy
 from ..graph.shortest_paths import (
     ShortestPathCache,
     dijkstra,
@@ -143,6 +144,15 @@ class FPGARouter:
     def __init__(self, arch: Architecture, config: Optional[RouterConfig] = None):
         self.arch = arch
         self.config = config or RouterConfig()
+
+    def search_policy(self) -> SearchPolicy:
+        """The shortest-path kernel policy for this router's caches.
+
+        The Manhattan scale comes from the architecture
+        (``min(segment_weight, pin_weight)``), so it stays admissible
+        as pins attach/detach and congestion raises edge weights.
+        """
+        return SearchPolicy.for_architecture(self.config.search, self.arch)
 
     # ------------------------------------------------------------------
     # net ordering
@@ -339,10 +349,18 @@ class FPGARouter:
                 rrg.detach_pins(net.terminals)
                 return None
         if cache is None:
-            cache = ShortestPathCache(graph)
+            cache = ShortestPathCache(graph, search=self.search_policy())
         # record the graph-optimal pathlengths *before* routing, for the
-        # pathlength-stretch metrics of Table 5
-        source_dist, _ = cache.sssp(net.source)
+        # pathlength-stretch metrics of Table 5.  Goal-directed backends
+        # settle just the sinks via an early-exit run; its settled
+        # prefix is bit-identical to the full SSSP, so the distances
+        # (and the canonical paths below) cannot differ.
+        if self.config.search == "dijkstra":
+            source_dist, _ = cache.sssp(net.source)
+        else:
+            source_dist, _ = cache.sssp_limited(
+                net.source, targets=tuple(net.sinks)
+            )
         optimal = {}
         for sink in net.sinks:
             if sink not in source_dist:

@@ -20,7 +20,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import DisconnectedError, GraphError
 from ..graph.core import Graph
-from ..graph.shortest_paths import ShortestPathCache
+from ..graph.shortest_paths import (
+    ShortestPathCache,
+    get_dijkstra_budget,
+    get_dijkstra_counters,
+)
 from ..graph.spanning import kruskal_mst, prim_mst
 from ..graph.validation import prune_non_terminal_leaves
 from ..net import Net
@@ -43,6 +47,8 @@ def voronoi_regions(
     dist: Dict[Node, float] = {}
     pred: Dict[Node, Node] = {}
     counter = 0
+    pops = 0
+    budget = get_dijkstra_budget()
     heap: List[Tuple[float, int, Node, Node]] = []
     for t in terminals:
         if not graph.has_node(t):
@@ -52,6 +58,9 @@ def voronoi_regions(
     seen: Dict[Node, float] = {t: 0.0 for t in terminals}
     while heap:
         d, _, node, term = heapq.heappop(heap)
+        pops += 1
+        if budget is not None:
+            budget.check(pops, counter, backend="dijkstra")
         if node in dist:
             continue
         dist[node] = d
@@ -63,6 +72,9 @@ def voronoi_regions(
                 pred[nb] = node
                 counter += 1
                 heapq.heappush(heap, (nd, counter, nb, term))
+    counters = get_dijkstra_counters()
+    if counters is not None:
+        counters.record(pops, counter, len(heap))
     return owner, dist, pred
 
 

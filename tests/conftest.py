@@ -10,6 +10,25 @@ from repro.graph import Graph, grid_graph, random_connected_graph
 from repro.net import Net
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden routing fixtures under "
+            "tests/differential/goldens/ instead of asserting "
+            "against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG; reseeded per test."""

@@ -1,0 +1,1 @@
+"""Differential tests: every search backend must route identically."""

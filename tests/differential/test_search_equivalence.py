@@ -1,0 +1,120 @@
+"""Every search backend must be indistinguishable from plain Dijkstra.
+
+``RouterConfig.search`` promises that ``"astar"``, ``"bidir"`` and
+``"auto"`` change *how fast* distances are computed, never *what* gets
+routed.  This module replays the same workloads — each iterated
+algorithm, each execution engine, and the channel-width negotiation —
+under all four backends and asserts bit-identical results against the
+``"dijkstra"`` reference: identical trees edge-for-edge, identical
+wirelengths, identical pass counts and channel widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import xc3000
+from repro.graph import SEARCH_BACKENDS
+from repro.router import RouterConfig, minimum_channel_width
+
+from .conftest import route_once, result_signature
+
+ACCEL_BACKENDS = [b for b in SEARCH_BACKENDS if b != "dijkstra"]
+
+
+class TestAlgorithmEquivalence:
+    @pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+    @pytest.mark.parametrize("algorithm", ["ikmb", "pfa", "idom"])
+    def test_backend_matches_reference(
+        self, tiny_xc3000, algorithm, backend
+    ):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm=algorithm)
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=backend,
+                       algorithm=algorithm)
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+    def test_izel_matches_reference(self, mini_xc3000, backend):
+        arch, circuit = mini_xc3000
+        kwargs = dict(algorithm="izel", steiner_candidate_depth=1,
+                      max_steiner_nodes=4)
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", **kwargs)
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=backend, **kwargs)
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+    def test_xc4000_family_matches_reference(self, tiny_xc4000, backend):
+        arch, circuit = tiny_xc4000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra")
+        )
+        got = result_signature(route_once(arch, circuit, backend=backend))
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+    def test_congestion_free_config_matches(self, tiny_xc3000, backend):
+        arch, circuit = tiny_xc3000
+        kwargs = dict(congestion=False, algorithm="pfa")
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", **kwargs)
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=backend, **kwargs)
+        )
+        assert got == ref
+
+
+class TestEngineEquivalence:
+    """The engines share the worker/search wiring: the speculative
+    parallel paths must stay deterministic under every backend."""
+
+    @pytest.mark.parametrize("backend", SEARCH_BACKENDS)
+    @pytest.mark.parametrize("engine", ["serial", "thread"])
+    def test_engine_backend_matrix(self, tiny_xc3000, engine, backend):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine="serial")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=backend, engine=engine)
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", ["auto"])
+    def test_process_engine_matches(self, tiny_xc3000, backend):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine="serial")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=backend, engine="process",
+                       max_workers=2)
+        )
+        assert got == ref
+
+
+class TestChannelWidthEquivalence:
+    @pytest.mark.parametrize("backend", ACCEL_BACKENDS)
+    def test_negotiated_width_identical(self, tiny_xc3000, backend):
+        _, circuit = tiny_xc3000
+        ref_cfg = RouterConfig(algorithm="pfa", search="dijkstra",
+                               max_passes=4)
+        cfg = RouterConfig(algorithm="pfa", search=backend, max_passes=4)
+        w_ref, res_ref = minimum_channel_width(
+            circuit, xc3000, ref_cfg, w_start=3, w_max=10
+        )
+        w_got, res_got = minimum_channel_width(
+            circuit, xc3000, cfg, w_start=3, w_max=10
+        )
+        assert w_got == w_ref
+        assert result_signature(res_got) == result_signature(res_ref)

@@ -156,9 +156,9 @@ class TestDijkstraCounters:
     def test_record_and_merge(self):
         c = DijkstraCounters()
         c.record(10, 7)
-        c.record(5, 3)
+        c.record(5, 3, pruned=4)
         assert c.snapshot() == {
-            "calls": 2, "heap_pops": 15, "relaxations": 10
+            "calls": 2, "heap_pops": 15, "relaxations": 10, "pruned": 4
         }
         other = DijkstraCounters()
         other.merge(c.snapshot())
