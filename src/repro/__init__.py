@@ -43,11 +43,14 @@ from .errors import (
     DisconnectedError,
     EngineError,
     EngineTimeoutError,
+    FormatError,
     GraphError,
     NetError,
     ReproError,
     RoutingError,
     UnroutableError,
+    ValidationError,
+    VerificationError,
     WorkerCrashError,
 )
 from .graph import (
@@ -189,6 +192,12 @@ _LAZY_ATTRS = {
     "RoutingResult": ("repro.router.result", "RoutingResult"),
     "RoutingSession": ("repro.engine", "RoutingSession"),
     "minimum_channel_width": ("repro.router", "minimum_channel_width"),
+    # validation / self-verification (see docs/validation.md)
+    "Diagnostic": ("repro.validate", "Diagnostic"),
+    "ValidationReport": ("repro.validate", "ValidationReport"),
+    "validate_circuit": ("repro.validate", "validate_circuit"),
+    "validate_architecture": ("repro.validate", "validate_architecture"),
+    "verify_result": ("repro.validate", "verify_result"),
 }
 
 
@@ -215,6 +224,12 @@ __all__ = [
     "RoutingResult",
     "RoutingSession",
     "minimum_channel_width",
+    # validation
+    "Diagnostic",
+    "ValidationReport",
+    "validate_circuit",
+    "validate_architecture",
+    "verify_result",
     # errors
     "ReproError",
     "GraphError",
@@ -227,6 +242,9 @@ __all__ = [
     "WorkerCrashError",
     "EngineTimeoutError",
     "CheckpointError",
+    "FormatError",
+    "ValidationError",
+    "VerificationError",
     # substrate
     "Graph",
     "ShortestPathCache",

@@ -80,6 +80,14 @@ def render_trace(doc: dict) -> str:
         f"speculative={totals['speculative_commits']} "
         f"conflicts={totals['conflict_reroutes']}"
     )
+    verify = totals.get("verify")
+    if verify:
+        footer += (
+            f"\nverification: checked={verify['checked']} "
+            f"violations={verify['violations']} "
+            f"repaired={verify['repaired']} "
+            f"quarantined={verify['quarantined']}"
+        )
     return header + "\n\n" + table + "\n\n" + footer
 
 

@@ -12,6 +12,8 @@ can be driven without writing Python:
   tree algorithm (the quickstart, parameterized);
 * ``circuits`` — list the built-in benchmark circuit specs.
 * ``report`` — run the fast drivers and emit a markdown report.
+* ``validate`` — lint circuit files / verify result files without
+  routing anything; validation findings exit with code 4.
 
 ``route``, ``width`` and ``report`` share one engine option group —
 ``--engine/--seed/--passes/--trace`` — so the routing engine and its
@@ -32,7 +34,12 @@ from typing import List, Optional
 from .analysis import run_table1
 from .analysis.tables import render_table
 from .engine import ENGINES
-from .errors import EngineTimeoutError, ReproError, UnroutableError
+from .errors import (
+    EngineTimeoutError,
+    ReproError,
+    UnroutableError,
+    ValidationError,
+)
 from .graph.search import SEARCH_BACKENDS
 from .fpga import (
     XC3000_CIRCUITS,
@@ -210,6 +217,39 @@ def _build_parser() -> argparse.ArgumentParser:
             "as a report section"
         ),
     )
+
+    p_val = sub.add_parser(
+        "validate",
+        help="lint a circuit file or verify a result file (exit 4 on "
+             "findings)",
+    )
+    p_val.add_argument(
+        "file",
+        help="a circuit or result JSON file (format auto-detected)",
+    )
+    p_val.add_argument(
+        "--circuit", metavar="PATH",
+        help="the circuit a result file was routed from (required to "
+             "verify a result)",
+    )
+    p_val.add_argument(
+        "--family", choices=["xc3000", "xc4000"], default="xc3000",
+        help="architecture family for device-aware checks",
+    )
+    p_val.add_argument(
+        "--width", type=int, default=None, metavar="W",
+        help="channel width for device-aware circuit lint (results "
+             "carry their own width)",
+    )
+    p_val.add_argument(
+        "--level", choices=["static", "full"], default="full",
+        help="result verification depth: static checks only, or the "
+             "full shortest-path replay (default)",
+    )
+    p_val.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors (exit 4 on any finding)",
+    )
     return parser
 
 
@@ -242,9 +282,27 @@ def _print_resilience_events(trace_path) -> None:
                 f"warning: worker pool rebuilt during pass "
                 f"{event.get('pass')} ({event.get('error')})"
             )
+        elif kind == "verify_violation":
+            codes = ", ".join(event.get("codes", []))
+            print(
+                f"warning: net {event.get('net')!r} failed verification "
+                f"during pass {event.get('pass')} ({codes})"
+            )
+        elif kind == "repair" and event.get("outcome") == "quarantined":
+            print(
+                f"warning: net {event.get('net')!r} quarantined after "
+                f"{event.get('attempt')} repair attempt(s) in pass "
+                f"{event.get('pass')}"
+            )
     retries = doc.get("totals", {}).get("retries", 0)
     if retries:
         print(f"warning: {retries} task dispatch(es) were retried")
+    verify = doc.get("totals", {}).get("verify")
+    if verify and verify.get("repaired"):
+        print(
+            f"warning: {verify['repaired']} net(s) were repaired after "
+            f"failing pass verification"
+        )
     final = doc.get("engine_final")
     if final and final != doc.get("engine"):
         print(f"warning: run finished on the {final!r} engine")
@@ -423,6 +481,66 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    import json
+
+    from .io import circuit_from_dict, load_circuit, result_from_dict
+    from .validate import (
+        merge_reports,
+        validate_architecture,
+        validate_circuit,
+        verify_result,
+    )
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as exc:
+            print(f"error: {args.file}: malformed JSON ({exc})",
+                  file=sys.stderr)
+            return 4
+    fmt = data.get("format") if isinstance(data, dict) else None
+    family = xc3000 if args.family == "xc3000" else xc4000
+
+    if fmt == "repro-circuit":
+        circuit = circuit_from_dict(data, source=args.file)
+        arch = None
+        if args.width is not None:
+            arch = family(circuit.rows, circuit.cols, args.width)
+        report = validate_circuit(circuit, arch)
+        if arch is not None:
+            report = merge_reports(
+                report.subject, [report, validate_architecture(arch)]
+            )
+    elif fmt == "repro-result":
+        if not args.circuit:
+            print(
+                "error: verifying a result file requires --circuit "
+                "(the circuit it was routed from)",
+                file=sys.stderr,
+            )
+            return 2
+        result = result_from_dict(data, source=args.file)
+        circuit = load_circuit(args.circuit)
+        arch = family(circuit.rows, circuit.cols, result.channel_width)
+        report = verify_result(result, circuit, arch, level=args.level)
+    else:
+        print(
+            f"error: {args.file}: not a repro circuit or result file "
+            f"(format={fmt!r})",
+            file=sys.stderr,
+        )
+        return 4
+
+    text = report.render()
+    failing = report.errors or (args.strict and report.diagnostics)
+    if failing:
+        print(text, file=sys.stderr)
+        return 4
+    print(text)
+    return 0
+
+
 _COMMANDS = {
     "route": _cmd_route,
     "width": _cmd_width,
@@ -430,6 +548,7 @@ _COMMANDS = {
     "net": _cmd_net,
     "circuits": _cmd_circuits,
     "report": _cmd_report,
+    "validate": _cmd_validate,
 }
 
 
@@ -457,6 +576,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"  partial progress: {detail}", file=sys.stderr)
         return 3
+    except ValidationError as exc:
+        # exit 4: the inputs or the result failed validation — the run
+        # never became a routing attempt (contrast with unroutable, 3)
+        print(f"error: {exc}", file=sys.stderr)
+        report = getattr(exc, "report", None)
+        if report is not None and len(report.diagnostics) > 1:
+            print(report.render(), file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

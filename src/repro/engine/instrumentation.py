@@ -22,11 +22,18 @@ from typing import IO, Dict, List, Optional, Union
 from ..fpga.routing_graph import RoutingResourceGraph
 
 #: current trace document schema identifier
-TRACE_SCHEMA = "repro.engine/trace-v2"
+TRACE_SCHEMA = "repro.engine/trace-v3"
 
 #: schemas :func:`load_trace` accepts (v2 added events/retries/resume
-#: fields without changing any v1 field, so v1 documents still render)
-ACCEPTED_TRACE_SCHEMAS = ("repro.engine/trace-v1", TRACE_SCHEMA)
+#: fields without changing any v1 field; v3 added the optional per-pass
+#: ``verify`` block, the ``verify`` config field and the verify/repair/
+#: quarantine event types — all additive, so older documents still
+#: render)
+ACCEPTED_TRACE_SCHEMAS = (
+    "repro.engine/trace-v1",
+    "repro.engine/trace-v2",
+    TRACE_SCHEMA,
+)
 
 #: channel-utilization histogram bucket count (utilization ∈ [0, 1])
 HISTOGRAM_BINS = 10
@@ -84,9 +91,12 @@ class PassRecord:
     congestion: Dict[str, object]
     #: task dispatches re-attempted after a crash or pool breakage
     retries: int = 0
+    #: per-pass verification summary (verify="pass" only):
+    #: {"checked", "violations", "repaired", "quarantined"}
+    verify: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc = {
             "pass": self.index,
             "seconds": round(self.seconds, 6),
             "batches": len(self.batch_sizes),
@@ -104,6 +114,9 @@ class PassRecord:
             "congestion": self.congestion,
             "retries": self.retries,
         }
+        if self.verify is not None:
+            doc["verify"] = dict(self.verify)
+        return doc
 
 
 @dataclass
@@ -195,6 +208,17 @@ class TraceRecorder:
         agg["seconds"] = round(agg["seconds"], 6)
         agg["dijkstra"] = dijkstra
         agg["cache"] = cache
+        verify = {"checked": 0, "violations": 0, "repaired": 0,
+                  "quarantined": 0}
+        verified_passes = 0
+        for p in passes:
+            block = p.get("verify")
+            if block:
+                verified_passes += 1
+                for k in verify:
+                    verify[k] += block.get(k, 0)
+        if verified_passes:
+            agg["verify"] = verify
         agg["max_batch_size"] = max(
             (max(p.get("batch_sizes", []), default=0) for p in passes),
             default=0,

@@ -49,6 +49,7 @@ from ..errors import (
     EngineTimeoutError,
     RoutingError,
     UnroutableError,
+    VerificationError,
 )
 from ..fpga.architecture import Architecture
 from ..fpga.netlist import PlacedCircuit, PlacedNet
@@ -64,6 +65,7 @@ from ..router.config import RouterConfig
 from ..router.congestion import CongestionModel
 from ..router.result import NetRoute, RoutingResult, measure_route
 from ..router.router import FPGARouter
+from ..validate import check_net_route, validate_circuit, verify_result
 from .batching import DEFAULT_BATCH_MARGIN, partition_batches
 from .checkpoint import (
     arch_fingerprint,
@@ -185,6 +187,12 @@ class RoutingSession:
         results bit-identical to an uninterrupted run.
         """
         circuit.validate(self.arch.pins_per_block)
+        # lint after the legacy validation (which owns the historical
+        # NetError behaviour): catches what it cannot — duplicate net
+        # names, a circuit larger than the device — with structured
+        # diagnostics.  Capacity findings are warnings and never block
+        # here, so the channel-width sweep keeps probing small widths.
+        validate_circuit(circuit, self.arch).raise_if_errors()
         cfg = self.config
         recorder = TraceRecorder(
             circuit=circuit.name,
@@ -207,6 +215,7 @@ class RoutingSession:
                 "route_timeout_s": cfg.route_timeout_s,
                 "max_relaxations": cfg.max_relaxations,
                 "search": cfg.search,
+                "verify": cfg.verify,
             },
         )
         recorder.channel_width = self.arch.channel_width
@@ -338,14 +347,31 @@ class RoutingSession:
             state = self._load_resume_state(resume, circuit)
             by_name = {n.name: n for n in circuit.nets}
             try:
-                order = [by_name[name] for name in state["order"]]
+                names = state["order"]
+                start_pass = int(state["next_pass"])
+                last_failures = state["last_failures"]
+                stall = int(state["stall"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"{resume}: malformed negotiation state "
+                    f"({type(exc).__name__}: {exc})"
+                ) from None
+            try:
+                order = [by_name[name] for name in names]
             except KeyError as exc:
                 raise CheckpointError(
                     f"{resume}: checkpoint orders unknown net {exc}"
                 ) from None
-            start_pass = int(state["next_pass"])
-            last_failures = state["last_failures"]
-            stall = int(state["stall"])
+            except TypeError:
+                raise CheckpointError(
+                    f"{resume}: 'order' is not a list of net names"
+                ) from None
+            if last_failures is not None and not isinstance(
+                last_failures, int
+            ):
+                raise CheckpointError(
+                    f"{resume}: 'last_failures' must be an int or null"
+                )
             recorder.restored_passes = list(state.get("passes", []))
             recorder.events = list(state.get("events", []))
             recorder.resumed_from = {"path": resume, "next_pass": start_pass}
@@ -356,6 +382,10 @@ class RoutingSession:
             mutations[0] += 1
 
         rrg.graph.add_version_hook(_mutation_hook)
+
+        #: pristine device for per-pass verification, built lazily once
+        verifier: List[Optional[RoutingResourceGraph]] = [None]
+        repairs_total = 0
 
         failed: List[PlacedNet] = []
         for pass_no in range(start_pass, cfg.max_passes + 1):
@@ -405,6 +435,16 @@ class RoutingSession:
                     deadline,
                 )
 
+            verify_info: Optional[Dict[str, int]] = None
+            if cfg.verify == "pass":
+                if verifier[0] is None:
+                    verifier[0] = RoutingResourceGraph(self.arch)
+                verify_info = self._verify_pass(
+                    pass_no, circuit, rrg, verifier[0], congestion,
+                    critical, cache, routes, failed, succeeded, recorder,
+                )
+                repairs_total += verify_info["repaired"]
+
             record = self._make_pass_record(
                 pass_no,
                 time.perf_counter() - started,
@@ -420,6 +460,7 @@ class RoutingSession:
                 mutations[0],
                 rrg,
             )
+            record.verify = verify_info
             recorder.record_pass(record)
 
             if not failed:
@@ -430,6 +471,11 @@ class RoutingSession:
                     passes_used=pass_no,
                     routes=routes,
                 )
+                if cfg.verify != "off":
+                    self._verify_final(
+                        result, circuit, recorder,
+                        repaired=repairs_total > 0,
+                    )
                 recorder.finish(
                     "complete",
                     passes_used=pass_no,
@@ -479,6 +525,178 @@ class RoutingSession:
             cfg.max_passes,
             [n.name for n in failed],
         )
+
+    # ------------------------------------------------------------------
+    # self-verification (RouterConfig.verify)
+    # ------------------------------------------------------------------
+
+    #: rip-up-reroute attempts per violating net before quarantining it
+    _MAX_REPAIRS = 2
+
+    def _verify_pass(
+        self,
+        pass_no: int,
+        circuit: PlacedCircuit,
+        rrg: RoutingResourceGraph,
+        verifier: RoutingResourceGraph,
+        congestion,
+        critical: Set[str],
+        cache: ShortestPathCache,
+        routes: List[NetRoute],
+        failed: List[PlacedNet],
+        succeeded: List[PlacedNet],
+        recorder: TraceRecorder,
+    ) -> Dict[str, int]:
+        """Verify this pass's committed routes; quarantine-and-repair.
+
+        Every route is certified against a pristine device
+        (:func:`repro.validate.check_net_route`).  A violating net is
+        ripped up (:meth:`RoutingResourceGraph.uncommit`) and rerouted
+        serially on the live graph, up to :data:`_MAX_REPAIRS` times;
+        a net that cannot be repaired is quarantined — moved to the
+        pass's failure list, where the move-to-front schedule retries
+        it next pass — instead of corrupting the result.
+        """
+        placed_by_name = {n.name: n for n in circuit.nets}
+        info = {
+            "checked": len(routes),
+            "violations": 0,
+            "repaired": 0,
+            "quarantined": 0,
+        }
+        violating: List[Tuple[NetRoute, PlacedNet, List[str]]] = []
+        for route in routes:
+            placed = placed_by_name[route.name]
+            report = check_net_route(
+                route, placed.to_graph_net().terminals, verifier
+            )
+            if not report.ok:
+                codes = sorted({d.code for d in report.errors})
+                violating.append((route, placed, codes))
+        if not violating:
+            recorder.record_event(
+                {
+                    "type": "verify_pass",
+                    "pass": pass_no,
+                    "checked": info["checked"],
+                    "violations": 0,
+                }
+            )
+            return info
+
+        info["violations"] = len(violating)
+        router = self._router
+        for route, placed, codes in violating:
+            recorder.record_event(
+                {
+                    "type": "verify_violation",
+                    "pass": pass_no,
+                    "net": route.name,
+                    "codes": codes,
+                }
+            )
+            routes.remove(route)
+            if placed in succeeded:
+                succeeded.remove(placed)
+            touched = rrg.uncommit(route.tree())
+            if congestion is not None:
+                congestion.reweight_groups(touched)
+            terminals = placed.to_graph_net().terminals
+            repaired = False
+            for attempt in range(1, self._MAX_REPAIRS + 1):
+                new_route = router._route_one(
+                    rrg, placed, congestion, critical, cache=cache
+                )
+                if new_route is None:
+                    break
+                re_report = check_net_route(new_route, terminals, verifier)
+                if re_report.ok:
+                    routes.append(new_route)
+                    succeeded.append(placed)
+                    info["repaired"] += 1
+                    recorder.record_event(
+                        {
+                            "type": "repair",
+                            "pass": pass_no,
+                            "net": route.name,
+                            "attempt": attempt,
+                            "outcome": "repaired",
+                        }
+                    )
+                    repaired = True
+                    break
+                touched = rrg.uncommit(new_route.tree())
+                if congestion is not None:
+                    congestion.reweight_groups(touched)
+                recorder.record_event(
+                    {
+                        "type": "repair",
+                        "pass": pass_no,
+                        "net": route.name,
+                        "attempt": attempt,
+                        "outcome": "rejected",
+                    }
+                )
+            if not repaired:
+                failed.append(placed)
+                info["quarantined"] += 1
+                recorder.record_event(
+                    {
+                        "type": "repair",
+                        "pass": pass_no,
+                        "net": route.name,
+                        "attempt": self._MAX_REPAIRS,
+                        "outcome": "quarantined",
+                    }
+                )
+        recorder.record_event(
+            {"type": "verify_pass", "pass": pass_no, **info}
+        )
+        return info
+
+    def _verify_final(
+        self,
+        result: RoutingResult,
+        circuit: PlacedCircuit,
+        recorder: TraceRecorder,
+        *,
+        repaired: bool,
+    ) -> None:
+        """Independent certification of the finished result.
+
+        A repaired run is checked at ``static`` level: repairs rewire
+        the live graph mid-pass, so the commit-order replay (which
+        re-derives each net's route-time weights) no longer models the
+        actual history; the static layer — tree validity, bookkeeping,
+        occupancy — still applies in full.
+        """
+        level = "static" if repaired else "full"
+        report = verify_result(
+            result, circuit, self.arch, self.config, level=level
+        )
+        recorder.record_event(
+            {
+                "type": "verify_final",
+                "pass": self._current_pass,
+                "level": level,
+                "ok": report.ok,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+            }
+        )
+        if not report.ok:
+            recorder.finish("verify_failed")
+            head = report.errors[0]
+            more = (
+                f" (+{len(report.errors) - 1} more)"
+                if len(report.errors) > 1
+                else ""
+            )
+            raise VerificationError(
+                f"result failed independent verification: "
+                f"{head.render()}{more}",
+                report=report,
+            )
 
     # ------------------------------------------------------------------
     # recovery-aware dispatch

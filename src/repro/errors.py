@@ -37,6 +37,43 @@ class NetError(ReproError):
     """An invalid net specification (empty net, duplicated pins, ...)."""
 
 
+class FormatError(ReproError):
+    """A persisted artifact (circuit/result JSON) is malformed.
+
+    Raised by :mod:`repro.io` instead of leaking raw ``KeyError`` /
+    ``TypeError`` / ``json.JSONDecodeError`` to callers.  ``path``
+    names the offending file when known, ``key`` the missing or
+    ill-typed field.
+    """
+
+    def __init__(self, message: str, *, path=None, key=None):
+        self.path = path
+        self.key = key
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """Input lint found blocking problems (see :mod:`repro.validate`).
+
+    ``report`` carries the full :class:`~repro.validate.ValidationReport`
+    so callers can inspect every :class:`~repro.validate.Diagnostic`
+    (stable code, severity, location) instead of parsing the message.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class VerificationError(ValidationError):
+    """The independent result checker rejected a routing result.
+
+    Raised when ``RouterConfig.verify`` is enabled and
+    :func:`repro.validate.verify_result` finds violations the repair
+    machinery could not (or was not asked to) fix.
+    """
+
+
 class ArchitectureError(ReproError):
     """An invalid FPGA architecture specification."""
 

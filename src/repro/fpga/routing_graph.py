@@ -97,6 +97,10 @@ class RoutingResourceGraph:
         #: lets the router detach pins so nets cannot route *through*
         #: a foreign logic-block pin (see detach_all_pins)
         self._pin_edges: Dict[Tuple, List[Tuple[Tuple, float]]] = {}
+        #: lazy junction-to-junction incidence index for :meth:`uncommit`
+        self._jj_incident: Optional[Dict[Tuple, List[Tuple[Tuple, float]]]] = (
+            None
+        )
         self._build()
 
     # ------------------------------------------------------------------
@@ -243,6 +247,45 @@ class RoutingResourceGraph:
         for node in list(tree.nodes):
             if self.graph.has_node(node):
                 self.graph.remove_node(node)
+        return touched
+
+    def uncommit(self, tree: Graph) -> Set[GroupKey]:
+        """Release the resources a previously committed tree consumed.
+
+        The inverse of :meth:`commit`, used by the engine's
+        quarantine-and-repair mode to rip up a net whose committed
+        route failed verification: every junction node of ``tree`` is
+        restored, along with each device edge whose two endpoints are
+        junctions alive afterwards.  Pin nodes stay detached — within
+        a pass pins exist only while their net is being routed, and
+        :meth:`attach_pins` re-creates them for the reroute.  Returns
+        the same channel-span groups :meth:`commit` reported, so the
+        congestion model can refresh their weights.
+        """
+        if self._jj_incident is None:
+            incident: Dict[Tuple, List[Tuple[Tuple, float]]] = {}
+            for (u, v), w in self._base_weight.items():
+                if u[0] == "J" and v[0] == "J":
+                    incident.setdefault(u, []).append((v, w))
+                    incident.setdefault(v, []).append((u, w))
+            self._jj_incident = incident
+        g = self.graph
+        junctions = [
+            n for n in tree.nodes
+            if isinstance(n, tuple) and n and n[0] == "J"
+        ]
+        for node in junctions:
+            if not g.has_node(node):
+                g.add_node(node)
+        for node in junctions:
+            for other, w in self._jj_incident.get(node, ()):
+                if g.has_node(other) and not g.has_edge(node, other):
+                    g.add_edge(node, other, w)
+        touched: Set[GroupKey] = set()
+        for u, v, _ in tree.edges():
+            info = self._segments.get(edge_key(u, v))
+            if info is not None:
+                touched.add(info.group)
         return touched
 
     # ------------------------------------------------------------------

@@ -29,30 +29,92 @@ def spans(graph: Graph, terminals: Iterable[Node]) -> bool:
     return all(graph.has_node(t) for t in terminals)
 
 
-def assert_valid_steiner_tree(
-    tree: Graph, terminals: Iterable[Node], host: Optional[Graph] = None
-) -> None:
-    """Raise :class:`GraphError` unless ``tree`` is a Steiner tree for
-    ``terminals`` (optionally checking containment in ``host``).
+#: stable violation codes emitted by :func:`steiner_tree_violations`
+TREE_MISSES_TERMINAL = "TREE_MISSES_TERMINAL"
+TREE_NOT_TREE = "TREE_NOT_TREE"
+TREE_EDGE_NOT_IN_HOST = "TREE_EDGE_NOT_IN_HOST"
+TREE_EDGE_WEIGHT_MISMATCH = "TREE_EDGE_WEIGHT_MISMATCH"
+
+#: default relative tolerance for host-weight agreement
+WEIGHT_TOL = 1e-9
+
+
+def steiner_tree_violations(
+    tree: Graph,
+    terminals: Iterable[Node],
+    host: Optional[Graph] = None,
+    *,
+    tol: float = WEIGHT_TOL,
+) -> List[Tuple[str, str]]:
+    """Enumerate every Steiner-tree violation as ``(code, message)``.
+
+    The single implementation behind :func:`assert_valid_steiner_tree`
+    and the :mod:`repro.validate` result checker: a valid tree spans
+    its terminals, is connected and acyclic, and (when ``host`` is
+    given) uses only host edges at host weights.  An edge absent from
+    the host (its weight is *missing*) and an edge present at a
+    *mismatched* weight are distinct failures — the former means the
+    tree claims a resource the device does not have, the latter that
+    bookkeeping drifted — so they carry distinct codes.
     """
+    violations: List[Tuple[str, str]] = []
     terms = list(terminals)
-    if not spans(tree, terms):
-        missing = [t for t in terms if not tree.has_node(t)]
-        raise GraphError(f"tree misses terminals {missing!r}")
+    missing = [t for t in terms if not tree.has_node(t)]
+    if missing:
+        violations.append(
+            (TREE_MISSES_TERMINAL, f"tree misses terminals {missing!r}")
+        )
     if not is_tree(tree):
-        raise GraphError(
-            f"not a tree: |V|={tree.num_nodes}, |E|={tree.num_edges}, "
-            f"connected={tree.is_connected()}"
+        violations.append(
+            (
+                TREE_NOT_TREE,
+                f"not a tree: |V|={tree.num_nodes}, |E|={tree.num_edges}, "
+                f"connected={tree.is_connected()}",
+            )
         )
     if host is not None:
         for u, v, w in tree.edges():
             if not host.has_edge(u, v):
-                raise GraphError(f"tree edge ({u!r}, {v!r}) not in host graph")
-            host_w = host.weight(u, v)
-            if abs(host_w - w) > 1e-9 * max(1.0, abs(host_w)):
-                raise GraphError(
-                    f"tree edge ({u!r}, {v!r}) weight {w} != host {host_w}"
+                violations.append(
+                    (
+                        TREE_EDGE_NOT_IN_HOST,
+                        f"tree edge ({u!r}, {v!r}) not in host graph "
+                        f"(host weight missing)",
+                    )
                 )
+                continue
+            host_w = host.weight(u, v)
+            if abs(host_w - w) > tol * max(1.0, abs(host_w)):
+                violations.append(
+                    (
+                        TREE_EDGE_WEIGHT_MISMATCH,
+                        f"tree edge ({u!r}, {v!r}) weight {w} != host "
+                        f"{host_w}",
+                    )
+                )
+    return violations
+
+
+def assert_valid_steiner_tree(
+    tree: Graph,
+    terminals: Iterable[Node],
+    host: Optional[Graph] = None,
+    *,
+    tol: float = WEIGHT_TOL,
+) -> None:
+    """Raise :class:`GraphError` unless ``tree`` is a Steiner tree for
+    ``terminals`` (optionally checking containment in ``host``).
+
+    The raised error's message is the first violation found by
+    :func:`steiner_tree_violations`; its ``code`` attribute carries the
+    violation's stable code.
+    """
+    violations = steiner_tree_violations(tree, terminals, host, tol=tol)
+    if violations:
+        code, message = violations[0]
+        exc = GraphError(message)
+        exc.code = code
+        raise exc
 
 
 def prune_non_terminal_leaves(tree: Graph, terminals: Iterable[Node]) -> Graph:

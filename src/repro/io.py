@@ -9,14 +9,21 @@ Circuit files round-trip exactly; result files preserve everything the
 analysis layer consumes (per-net edges, wirelength, pathlengths) —
 node ids are encoded as JSON-safe nested lists and decoded back to the
 tuple forms the library uses.
+
+Loading is *hardened*: malformed JSON, a wrong format/version marker,
+missing keys or ill-typed fields all raise
+:class:`~repro.errors.FormatError` carrying the file path and the
+offending key, never a raw ``KeyError``/``TypeError``/
+``json.JSONDecodeError``.  Semantic problems (a net with no sinks)
+keep their established :class:`~repro.errors.NetError` type.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Union
+from typing import Any, Dict, IO, List, Optional, Union
 
-from .errors import ReproError
+from .errors import FormatError
 from .fpga.netlist import PlacedCircuit, PlacedNet
 from .router.result import NetRoute, RoutingResult
 
@@ -36,6 +43,49 @@ def _decode_node(value: Any) -> Any:
     if isinstance(value, list):
         return tuple(_decode_node(x) for x in value)
     return value
+
+
+def _describe(source: Optional[str]) -> str:
+    return source if source is not None else "<data>"
+
+
+def _check_header(
+    data: Any,
+    fmt: str,
+    version: int,
+    source: Optional[str],
+) -> None:
+    """Validate the document envelope: a dict with format + version."""
+    where = _describe(source)
+    if not isinstance(data, dict):
+        raise FormatError(
+            f"{where}: expected a JSON object, got "
+            f"{type(data).__name__}",
+            path=source,
+        )
+    if data.get("format") != fmt:
+        raise FormatError(
+            f"{where}: not a {fmt} file "
+            f"(format={data.get('format')!r})",
+            path=source,
+            key="format",
+        )
+    if data.get("version") != version:
+        raise FormatError(
+            f"{where}: unsupported {fmt} version "
+            f"{data.get('version')!r} (expected {version})",
+            path=source,
+            key="version",
+        )
+
+
+def _load_json(path: str, fh: IO[str]) -> Any:
+    try:
+        return json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise FormatError(
+            f"{path}: malformed JSON ({exc})", path=path
+        ) from None
 
 
 # ----------------------------------------------------------------------
@@ -60,28 +110,46 @@ def circuit_to_dict(circuit: PlacedCircuit) -> Dict[str, Any]:
     }
 
 
-def circuit_from_dict(data: Dict[str, Any]) -> PlacedCircuit:
-    """Inverse of :func:`circuit_to_dict` (with format validation)."""
-    if data.get("format") != "repro-circuit":
-        raise ReproError("not a repro circuit file")
-    if data.get("version") != _CIRCUIT_VERSION:
-        raise ReproError(
-            f"unsupported circuit format version {data.get('version')!r}"
+def circuit_from_dict(
+    data: Dict[str, Any], *, source: Optional[str] = None
+) -> PlacedCircuit:
+    """Inverse of :func:`circuit_to_dict` (with format validation).
+
+    ``source`` names the originating file for error context.
+    """
+    _check_header(data, "repro-circuit", _CIRCUIT_VERSION, source)
+    where = _describe(source)
+    key = "nets"
+    try:
+        nets = [
+            PlacedNet(
+                name=n["name"],
+                source=tuple(n["source"]),
+                sinks=tuple(tuple(s) for s in n["sinks"]),
+            )
+            for n in data["nets"]
+        ]
+        for k in ("name", "rows", "cols"):
+            key = k
+            data[k]
+        key = "rows/cols"
+        rows, cols = int(data["rows"]), int(data["cols"])
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array {cols}x{rows} is not positive")
+        circuit = PlacedCircuit(
+            name=data["name"],
+            rows=rows,
+            cols=cols,
+            nets=nets,
         )
-    nets = [
-        PlacedNet(
-            name=n["name"],
-            source=tuple(n["source"]),
-            sinks=tuple(tuple(s) for s in n["sinks"]),
-        )
-        for n in data["nets"]
-    ]
-    return PlacedCircuit(
-        name=data["name"],
-        rows=data["rows"],
-        cols=data["cols"],
-        nets=nets,
-    )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(
+            f"{where}: bad or missing field {key!r} "
+            f"({type(exc).__name__}: {exc})",
+            path=source,
+            key=key,
+        ) from None
+    return circuit
 
 
 def save_circuit(circuit: PlacedCircuit, path: str) -> None:
@@ -91,9 +159,13 @@ def save_circuit(circuit: PlacedCircuit, path: str) -> None:
 
 
 def load_circuit(path: str) -> PlacedCircuit:
-    """Read a circuit from a JSON file."""
+    """Read a circuit from a JSON file.
+
+    Raises :class:`~repro.errors.FormatError` on malformed input and
+    :class:`~repro.errors.NetError` on structurally invalid nets.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        return circuit_from_dict(json.load(fh))
+        return circuit_from_dict(_load_json(path, fh), source=path)
 
 
 # ----------------------------------------------------------------------
@@ -133,18 +205,22 @@ def result_to_dict(result: RoutingResult) -> Dict[str, Any]:
     }
 
 
-def result_from_dict(data: Dict[str, Any]) -> RoutingResult:
-    """Inverse of :func:`result_to_dict` (with format validation)."""
-    if data.get("format") != "repro-result":
-        raise ReproError("not a repro result file")
-    if data.get("version") != _RESULT_VERSION:
-        raise ReproError(
-            f"unsupported result format version {data.get('version')!r}"
-        )
+def result_from_dict(
+    data: Dict[str, Any], *, source: Optional[str] = None
+) -> RoutingResult:
+    """Inverse of :func:`result_to_dict` (with format validation).
+
+    ``source`` names the originating file for error context.
+    """
+    _check_header(data, "repro-result", _RESULT_VERSION, source)
+    where = _describe(source)
     routes: List[NetRoute] = []
-    for r in data["routes"]:
-        routes.append(
-            NetRoute(
+    key = "routes"
+    try:
+        raw_routes = data["routes"]
+        for r in raw_routes:
+            key = f"routes[{len(routes)}]"
+            route = NetRoute(
                 name=r["name"],
                 algorithm=r["algorithm"],
                 source=_decode_node(r["source"]),
@@ -162,15 +238,38 @@ def result_from_dict(data: Dict[str, Any]) -> RoutingResult:
                     for s, d in r["optimal_pathlengths"]
                 },
             )
+            key = f"routes[{len(routes)}].pathlengths"
+            dangling = set(route.pathlengths) - set(route.sinks)
+            if dangling:
+                raise ValueError(
+                    f"pathlength recorded for a node that is not a "
+                    f"sink of net {route.name!r}: "
+                    f"{sorted(dangling, key=repr)[0]!r}"
+                )
+            routes.append(route)
+        key = "failed_nets"
+        failed = tuple(data["failed_nets"])
+        key = "channel_width"
+        width = int(data["channel_width"])
+        if width < 1:
+            raise ValueError(f"channel width {width} is not positive")
+        key = "circuit"
+        result = RoutingResult(
+            circuit=data["circuit"],
+            channel_width=width,
+            algorithm=data["algorithm"],
+            passes_used=data["passes_used"],
+            routes=routes,
+            failed_nets=failed,
         )
-    return RoutingResult(
-        circuit=data["circuit"],
-        channel_width=data["channel_width"],
-        algorithm=data["algorithm"],
-        passes_used=data["passes_used"],
-        routes=routes,
-        failed_nets=tuple(data["failed_nets"]),
-    )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(
+            f"{where}: bad or missing field near {key!r} "
+            f"({type(exc).__name__}: {exc})",
+            path=source,
+            key=key,
+        ) from None
+    return result
 
 
 def save_result(result: RoutingResult, path: str) -> None:
@@ -180,6 +279,9 @@ def save_result(result: RoutingResult, path: str) -> None:
 
 
 def load_result(path: str) -> RoutingResult:
-    """Read a routing result from a JSON file."""
+    """Read a routing result from a JSON file.
+
+    Raises :class:`~repro.errors.FormatError` on malformed input.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        return result_from_dict(json.load(fh))
+        return result_from_dict(_load_json(path, fh), source=path)

@@ -21,6 +21,12 @@ ALGORITHMS = (
     "two_pin",                         # decomposition baseline (≈ CGE/SEGA)
 )
 
+#: self-verification modes (see docs/validation.md): "off" — no
+#: checking (bit-identical to historical behaviour); "final" — run the
+#: independent checker once on the finished result; "pass" — verify
+#: every committed pass and quarantine-and-repair violating nets
+VERIFY_MODES = ("off", "final", "pass")
+
 
 @dataclass(frozen=True, kw_only=True)
 class RouterConfig:
@@ -92,6 +98,15 @@ class RouterConfig:
         routing trees — goal-directed kernels are used only for exact
         distance queries, and canonical paths always come from plain
         Dijkstra runs (see ``docs/search.md``).
+    verify:
+        Self-verification mode, one of :data:`VERIFY_MODES`.
+        ``"off"`` (default) changes nothing; ``"final"`` certifies the
+        finished result with the independent checker
+        (:func:`repro.validate.verify_result`) and raises
+        :class:`~repro.errors.VerificationError` on violations;
+        ``"pass"`` additionally checks every committed pass and
+        rip-up-reroutes violating nets (bounded retries) before
+        quarantining them — see ``docs/validation.md``.
     """
 
     algorithm: str = "ikmb"
@@ -108,8 +123,14 @@ class RouterConfig:
     route_timeout_s: Optional[float] = None
     max_relaxations: Optional[int] = None
     search: str = "auto"
+    verify: str = "off"
 
     def __post_init__(self) -> None:
+        if self.verify not in VERIFY_MODES:
+            raise RoutingError(
+                f"unknown verify mode {self.verify!r}; "
+                f"expected one of {VERIFY_MODES}"
+            )
         if self.search not in SEARCH_BACKENDS:
             raise RoutingError(
                 f"unknown search backend {self.search!r}; "

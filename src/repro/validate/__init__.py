@@ -1,0 +1,54 @@
+"""Self-verification: input lint, result checking, shared tree checks.
+
+Three layers (see ``docs/validation.md``):
+
+* :func:`validate_circuit` / :func:`validate_architecture` — input
+  lint producing a :class:`ValidationReport` of structured
+  :class:`Diagnostic`\\ s;
+* :func:`verify_result` / :func:`check_net_route` — the independent
+  result checker (recomputed occupancy, tree validity, bookkeeping,
+  arborescence shortest-path replay);
+* :func:`assert_valid_steiner_tree` / :func:`steiner_tree_violations`
+  — the shared tree-shape implementation, re-exported from
+  :mod:`repro.graph.validation` so the checker and the steiner tests
+  certify trees with one code path.
+
+``RouterConfig.verify`` wires the checker into the engine
+(``"off" | "final" | "pass"``); ``python -m repro validate`` exposes
+the lint/checker from the command line (exit code 4 on findings).
+"""
+
+from ..graph.validation import (
+    assert_valid_steiner_tree,
+    steiner_tree_violations,
+)
+from .checker import (
+    ARBORESCENCE_ALGORITHMS,
+    check_net_route,
+    segment_span,
+    verify_result,
+)
+from .diagnostics import (
+    CODES,
+    SEVERITIES,
+    Diagnostic,
+    ValidationReport,
+    merge_reports,
+)
+from .lint import validate_architecture, validate_circuit
+
+__all__ = [
+    "ARBORESCENCE_ALGORITHMS",
+    "CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "ValidationReport",
+    "assert_valid_steiner_tree",
+    "check_net_route",
+    "merge_reports",
+    "segment_span",
+    "steiner_tree_violations",
+    "validate_architecture",
+    "validate_circuit",
+    "verify_result",
+]

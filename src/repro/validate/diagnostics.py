@@ -1,0 +1,179 @@
+"""Structured diagnostics shared by the lint and checker layers.
+
+Every problem the validator can report carries a *stable code* (a short
+SCREAMING_SNAKE identifier, registered in :data:`CODES`), a severity,
+an optional location (net name, file path, channel span, ...) and a
+human-readable message.  Callers branch on codes, never on message
+text, so messages can improve without breaking tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ValidationError
+
+#: diagnostic severities, mildest first
+SEVERITIES = ("info", "warning", "error")
+
+#: registry of every stable diagnostic code with a one-line description;
+#: docs/validation.md renders this table, tests assert emitted codes are
+#: registered here
+CODES: Dict[str, str] = {
+    # -- input lint: circuits -------------------------------------------
+    "NET_NO_SINKS": "net has a source but no sinks",
+    "NET_DUP_TERMINAL": "net lists the same pin more than once",
+    "NET_DUP_NAME": "two nets in the circuit share a name",
+    "PLACEMENT_OUT_OF_RANGE": "net pin placed outside the block array",
+    "PIN_SLOT_OUT_OF_RANGE": "pin slot index exceeds pins_per_block",
+    "PIN_REUSED": "one physical pin slot is claimed by two nets",
+    "PIN_UNREACHABLE": "pin has no connection-block taps (Fc = 0 slot)",
+    "ARRAY_MISMATCH": "circuit array is larger than the architecture",
+    "CHANNEL_CAPACITY_EXCEEDED":
+        "lower-bound demand on a channel span exceeds hard capacity",
+    "CHANNEL_CAPACITY_TIGHT":
+        "lower-bound demand on a channel span is near capacity",
+    # -- input lint: architectures --------------------------------------
+    "ARCH_FS_NOT_MULTIPLE_OF_3":
+        "Fs not divisible by 3; switch fanout is distributed unevenly",
+    "ARCH_ZERO_SWITCH_WEIGHT":
+        "switch weight is 0; distinct shortest paths may tie",
+    "ARCH_FC_BELOW_FULL":
+        "Fc < W; some pins reach only a strict subset of tracks",
+    "ARCH_DEGENERATE_ARRAY": "array has a single row or column",
+    # -- result checker -------------------------------------------------
+    "RESULT_NET_UNKNOWN": "result routes a net the circuit does not define",
+    "RESULT_NET_MISSING":
+        "circuit net neither routed nor reported as failed",
+    "RESULT_NET_DUPLICATE": "result contains two routes for one net",
+    "TREE_MISSES_TERMINAL": "route tree does not span its terminals",
+    "TREE_NOT_TREE": "route is disconnected or contains a cycle",
+    "TREE_EDGE_NOT_IN_DEVICE": "route uses an edge the device lacks",
+    "TREE_EDGE_NOT_IN_HOST": "tree edge absent from host graph",
+    "TREE_EDGE_WEIGHT_MISMATCH": "tree edge weight deviates from host",
+    "WIRELENGTH_MISMATCH": "recomputed wirelength differs from recorded",
+    "PATHLENGTH_MISMATCH": "recomputed pathlength differs from recorded",
+    "RESOURCE_SHARED": "two nets consume the same routing resource",
+    "CHANNEL_OVERCAPACITY": "channel span hosts more nets than tracks",
+    "ARBORESCENCE_NOT_SHORTEST":
+        "PFA/IDOM tree path longer than graph distance at route time",
+    "OPTIMAL_PATHLENGTH_DIVERGENT":
+        "recorded optimal pathlength differs from replayed distance",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    code: str
+    severity: str
+    message: str
+    #: where the problem is: a net name, file path, span key, ...
+    location: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def render(self) -> str:
+        loc = f" [{self.location}]" if self.location else ""
+        return f"{self.severity}: {self.code}{loc}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """An ordered collection of :class:`Diagnostic`s for one subject."""
+
+    subject: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: str = "error",
+        location: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                location=location,
+            )
+        )
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were recorded."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def raise_if_errors(self, *, strict: bool = False) -> None:
+        """Raise :class:`~repro.errors.ValidationError` on blockers.
+
+        In strict mode warnings are promoted to blockers too.
+        """
+        blocking = self.errors
+        if strict:
+            blocking = blocking + self.warnings
+        if blocking:
+            head = blocking[0]
+            more = f" (+{len(blocking) - 1} more)" if len(blocking) > 1 else ""
+            raise ValidationError(
+                f"{self.subject}: {head.render()}{more}", report=self
+            )
+
+    def render(self) -> str:
+        """Multi-line human-readable listing (CLI output)."""
+        if not self.diagnostics:
+            return f"{self.subject}: ok"
+        lines = [f"{self.subject}:"]
+        lines.extend(f"  {d.render()}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "message": d.message,
+                    "location": d.location,
+                }
+                for d in self.diagnostics
+            ],
+        }
+
+
+def merge_reports(
+    subject: str, reports: Iterable[ValidationReport]
+) -> ValidationReport:
+    """Concatenate several reports under one subject heading."""
+    merged = ValidationReport(subject=subject)
+    for r in reports:
+        merged.extend(r)
+    return merged

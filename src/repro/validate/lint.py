@@ -1,0 +1,195 @@
+"""Input lint: structural checks on circuits and architectures.
+
+The lint layer answers "is this input even plausible?" *before* a run
+consumes minutes of routing.  It never mutates its inputs and reports
+everything it finds (no fail-fast), so one run surfaces every problem.
+
+Severity policy:
+
+* **error** — the router would crash or silently mis-route: placements
+  outside the array, pin slots beyond ``pins_per_block``, one physical
+  pin claimed by two nets, duplicate net names, degenerate nets.
+* **warning** — legal but suspicious or capacity-doomed inputs:
+  channel-span demand at or above the track count, unusual
+  architecture parameters.  Warnings never block a run in lenient
+  mode; ``ValidationReport.raise_if_errors(strict=True)`` promotes
+  them.  Capacity findings are deliberately *not* errors: the
+  channel-width sweep (:func:`repro.router.channel_width.minimum_channel_width`)
+  probes widths that are expected to be infeasible, and turning that
+  into a hard failure would break the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..fpga.architecture import Architecture
+from ..fpga.netlist import PlacedCircuit
+from .diagnostics import ValidationReport
+
+#: channel-span key reused from the routing graph: ("H"|"V", x, y)
+SpanKey = Tuple[str, int, int]
+
+
+def pin_span(arch: Architecture, bx: int, by: int, p: int) -> SpanKey:
+    """The single channel span a pin's connection block taps.
+
+    Mirrors (independently of) the routing graph's construction: a pin
+    on side S/N taps the horizontal channel below/above its block, a
+    pin on side W/E the vertical channel beside it.
+    """
+    side = arch.pin_side(p)
+    if side == "S":
+        return ("H", bx, by)
+    if side == "N":
+        return ("H", bx, by + 1)
+    if side == "W":
+        return ("V", bx, by)
+    return ("V", bx + 1, by)
+
+
+def validate_circuit(
+    circuit: PlacedCircuit, arch: Optional[Architecture] = None
+) -> ValidationReport:
+    """Lint a placed circuit, optionally against an architecture.
+
+    Without ``arch`` only circuit-internal invariants are checked
+    (net shapes, placements against the circuit's own array, pin
+    reuse).  With ``arch`` the report also covers architecture fit:
+    array size, pin-slot range, connection-block reachability, and a
+    per-channel-span demand lower bound.
+    """
+    report = ValidationReport(subject=f"circuit {circuit.name!r}")
+    seen_names: Set[str] = set()
+    used_pins: Dict[Tuple[int, int, int], str] = {}
+    # distinct nets tapping each channel span — every net with a pin on
+    # a span must consume at least one of its tracks (committing a route
+    # removes the junction nodes of the used track), so this count is an
+    # exact lower bound on the span's track demand
+    span_demand: Dict[SpanKey, Set[str]] = {}
+
+    for net in circuit.nets:
+        if net.name in seen_names:
+            report.add(
+                "NET_DUP_NAME",
+                f"net name {net.name!r} appears more than once",
+                location=net.name,
+            )
+        seen_names.add(net.name)
+        if not net.sinks:
+            report.add(
+                "NET_NO_SINKS",
+                f"net {net.name!r} has no sinks",
+                location=net.name,
+            )
+        terminal_seen: Set[Tuple[int, int, int]] = set()
+        for ref in net.pins:
+            if ref in terminal_seen:
+                report.add(
+                    "NET_DUP_TERMINAL",
+                    f"net {net.name!r} lists pin {ref!r} twice",
+                    location=net.name,
+                )
+            terminal_seen.add(ref)
+            bx, by, p = ref
+            if not (0 <= bx < circuit.cols and 0 <= by < circuit.rows):
+                report.add(
+                    "PLACEMENT_OUT_OF_RANGE",
+                    f"net {net.name!r}: block ({bx},{by}) outside the "
+                    f"{circuit.cols}x{circuit.rows} array",
+                    location=net.name,
+                )
+                continue
+            if ref in used_pins and used_pins[ref] != net.name:
+                report.add(
+                    "PIN_REUSED",
+                    f"pin {ref!r} claimed by both {used_pins[ref]!r} "
+                    f"and {net.name!r}",
+                    location=net.name,
+                )
+            used_pins.setdefault(ref, net.name)
+            if arch is not None:
+                if not 0 <= p < arch.pins_per_block:
+                    report.add(
+                        "PIN_SLOT_OUT_OF_RANGE",
+                        f"net {net.name!r}: pin slot {p} out of range "
+                        f"(architecture has {arch.pins_per_block} "
+                        f"pins per block)",
+                        location=net.name,
+                    )
+                    continue
+                if not arch.pin_tracks(p):
+                    report.add(
+                        "PIN_UNREACHABLE",
+                        f"net {net.name!r}: pin slot {p} taps no tracks "
+                        f"(Fc resolves to 0)",
+                        location=net.name,
+                    )
+                span_demand.setdefault(
+                    pin_span(arch, bx, by, p), set()
+                ).add(net.name)
+
+    if arch is not None:
+        if circuit.cols > arch.cols or circuit.rows > arch.rows:
+            report.add(
+                "ARRAY_MISMATCH",
+                f"circuit array {circuit.cols}x{circuit.rows} exceeds "
+                f"architecture array {arch.cols}x{arch.rows}",
+            )
+        w = arch.channel_width
+        for span in sorted(span_demand):
+            demand = len(span_demand[span])
+            if demand > w:
+                report.add(
+                    "CHANNEL_CAPACITY_EXCEEDED",
+                    f"{demand} nets need tracks of span {span!r} but the "
+                    f"channel has only {w}; unroutable at this width",
+                    severity="warning",
+                    location=repr(span),
+                )
+            elif demand == w:
+                report.add(
+                    "CHANNEL_CAPACITY_TIGHT",
+                    f"{demand} nets need tracks of span {span!r} with "
+                    f"exactly {w} available; no slack for through-routes",
+                    severity="warning",
+                    location=repr(span),
+                )
+    return report
+
+
+def validate_architecture(arch: Architecture) -> ValidationReport:
+    """Lint an architecture for suspicious (but legal) parameters.
+
+    Hard invariants are enforced by ``Architecture.__post_init__``
+    already, so everything here is warning/info severity.
+    """
+    report = ValidationReport(subject=f"architecture {arch.name!r}")
+    if arch.fs % 3 != 0:
+        report.add(
+            "ARCH_FS_NOT_MULTIPLE_OF_3",
+            f"Fs={arch.fs} is not a multiple of 3; switch fanout is "
+            f"distributed unevenly over the three far sides",
+            severity="warning",
+        )
+    if arch.switch_weight == 0:
+        report.add(
+            "ARCH_ZERO_SWITCH_WEIGHT",
+            "switch weight is 0; many distinct paths tie and routing "
+            "becomes tie-break sensitive",
+            severity="warning",
+        )
+    if arch.effective_fc < arch.channel_width:
+        report.add(
+            "ARCH_FC_BELOW_FULL",
+            f"Fc={arch.effective_fc} < W={arch.channel_width}; pins "
+            f"reach a strict subset of tracks",
+            severity="info",
+        )
+    if arch.rows == 1 or arch.cols == 1:
+        report.add(
+            "ARCH_DEGENERATE_ARRAY",
+            f"{arch.rows}x{arch.cols} array has a single row or column",
+            severity="warning",
+        )
+    return report

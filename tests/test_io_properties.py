@@ -1,0 +1,178 @@
+"""Property-based round-trip guarantees for :mod:`repro.io`.
+
+The durable-artifact contract: ``save → load → save`` is
+*byte-identical* for both circuit and result files, and every decoded
+value matches the original object exactly (node ids back to tuples,
+floats preserved).  Runs under `hypothesis` when installed; otherwise
+the same properties execute over a vendored corpus of seeds, matching
+the pattern of ``tests/test_search_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.fpga.netlist import PlacedCircuit, PlacedNet
+from repro.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_circuit,
+    save_result,
+)
+from repro.router.result import NetRoute, RoutingResult
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+SEED_CASES = [(s,) for s in range(12)]
+
+
+def property_case(func):
+    """Run ``func(seed)`` under hypothesis or the vendored corpus."""
+    if HAVE_HYPOTHESIS:
+        return settings(max_examples=30, deadline=None)(
+            given(seed=st.integers(min_value=0, max_value=2**20))(func)
+        )
+    return pytest.mark.parametrize("seed", [s for (s,) in SEED_CASES])(func)
+
+
+def random_circuit(seed: int) -> PlacedCircuit:
+    rnd = random.Random(seed)
+    rows, cols = rnd.randint(2, 6), rnd.randint(2, 6)
+    pins_per_block = 8
+    free = [
+        (x, y, p)
+        for x in range(cols)
+        for y in range(rows)
+        for p in range(pins_per_block)
+    ]
+    rnd.shuffle(free)
+    nets = []
+    for i in range(rnd.randint(1, 6)):
+        fanout = rnd.randint(1, 4)
+        if len(free) < fanout + 1:
+            break
+        pins = [free.pop() for _ in range(fanout + 1)]
+        nets.append(
+            PlacedNet(
+                name=f"net{i}", source=pins[0], sinks=tuple(pins[1:])
+            )
+        )
+    return PlacedCircuit(
+        name=f"rand-{seed}", rows=rows, cols=cols, nets=nets
+    )
+
+
+def random_result(seed: int) -> RoutingResult:
+    """A synthetic result with realistic node-id shapes.
+
+    The serializer must not care whether the routes are *routable* —
+    only the shapes matter: nested-tuple node ids, float weights, and
+    per-sink dicts.
+    """
+    rnd = random.Random(seed)
+    routes = []
+    for i in range(rnd.randint(1, 5)):
+        source = ("P", rnd.randint(0, 5), rnd.randint(0, 5), rnd.randint(0, 7))
+        sinks = tuple(
+            ("P", rnd.randint(0, 5), rnd.randint(0, 5), rnd.randint(0, 7))
+            for _ in range(rnd.randint(1, 3))
+        )
+        edges = []
+        prev = source
+        for _ in range(rnd.randint(1, 8)):
+            node = (
+                "J", rnd.randint(0, 6), rnd.randint(0, 6),
+                rnd.choice("NSEW"), rnd.randint(0, 4),
+            )
+            edges.append((prev, node, rnd.choice([0.5, 1.0, 2.25])))
+            prev = node
+        routes.append(
+            NetRoute(
+                name=f"net{i}",
+                algorithm=rnd.choice(["ikmb", "izel", "pfa", "idom"]),
+                source=source,
+                sinks=sinks,
+                edges=edges,
+                wirelength=round(rnd.uniform(1, 50), 6),
+                pathlengths={
+                    s: round(rnd.uniform(1, 30), 6) for s in sinks
+                },
+                optimal_pathlengths={
+                    s: round(rnd.uniform(1, 30), 6) for s in sinks
+                },
+            )
+        )
+    return RoutingResult(
+        circuit=f"rand-{seed}",
+        channel_width=rnd.randint(2, 10),
+        algorithm="ikmb",
+        passes_used=rnd.randint(1, 20),
+        routes=routes,
+        failed_nets=tuple(f"lost{i}" for i in range(rnd.randint(0, 2))),
+    )
+
+
+@property_case
+def test_circuit_roundtrip_is_exact(seed):
+    circuit = random_circuit(seed)
+    decoded = circuit_from_dict(circuit_to_dict(circuit))
+    assert decoded.name == circuit.name
+    assert (decoded.rows, decoded.cols) == (circuit.rows, circuit.cols)
+    assert decoded.nets == circuit.nets
+
+
+@property_case
+def test_circuit_save_load_save_byte_identical(seed, tmp_path_factory):
+    circuit = random_circuit(seed)
+    base = tmp_path_factory.mktemp("io")
+    first, second = base / "a.json", base / "b.json"
+    save_circuit(circuit, str(first))
+    save_circuit(load_circuit(str(first)), str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+
+@property_case
+def test_result_roundtrip_is_exact(seed):
+    result = random_result(seed)
+    decoded = result_from_dict(result_to_dict(result))
+    assert decoded.circuit == result.circuit
+    assert decoded.channel_width == result.channel_width
+    assert decoded.failed_nets == result.failed_nets
+    assert len(decoded.routes) == len(result.routes)
+    for got, want in zip(decoded.routes, result.routes):
+        assert got.source == want.source
+        assert got.sinks == want.sinks
+        assert got.edges == want.edges
+        assert got.wirelength == want.wirelength
+        assert got.pathlengths == want.pathlengths
+        assert got.optimal_pathlengths == want.optimal_pathlengths
+
+
+@property_case
+def test_result_save_load_save_byte_identical(seed, tmp_path_factory):
+    result = random_result(seed)
+    base = tmp_path_factory.mktemp("io")
+    first, second = base / "a.json", base / "b.json"
+    save_result(result, str(first))
+    save_result(load_result(str(first)), str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+
+@property_case
+def test_serialized_form_is_json_clean(seed):
+    # finite floats only, and the envelope survives a JSON round trip
+    doc = result_to_dict(random_result(seed))
+    text = json.dumps(doc, allow_nan=False)  # raises on inf/nan
+    assert json.loads(text) == doc

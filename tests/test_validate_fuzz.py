@@ -1,0 +1,73 @@
+"""Malformed-input corpus: loaders fail structurally, never raw.
+
+Every file under ``tests/corpus/`` is a deliberately broken input —
+truncated JSON, wrong format/version markers, missing or ill-typed
+fields, corrupted checkpoints.  The filename prefix selects the loader
+(``circuit_`` / ``result_`` / ``checkpoint_``), and every loader must
+reject its file with a :class:`~repro.errors.ReproError` subclass
+carrying a useful message — never a raw ``KeyError``/``TypeError``/
+``JSONDecodeError`` traceback.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, FormatError, NetError, ReproError
+from repro.engine.checkpoint import load_checkpoint
+from repro.io import load_circuit, load_result
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+LOADERS = {
+    "circuit": load_circuit,
+    "result": load_result,
+    "checkpoint": load_checkpoint,
+}
+
+
+def corpus_files():
+    return sorted(
+        name for name in os.listdir(CORPUS) if name.endswith(".json")
+    )
+
+
+def test_corpus_is_nonempty_and_prefixed():
+    files = corpus_files()
+    assert files, "tests/corpus/ must not be empty"
+    for name in files:
+        assert name.split("_")[0] in LOADERS, (
+            f"{name}: corpus files must be named "
+            f"circuit_*/result_*/checkpoint_*"
+        )
+
+
+@pytest.mark.parametrize("name", corpus_files())
+def test_malformed_input_raises_structured_error(name):
+    loader = LOADERS[name.split("_")[0]]
+    with pytest.raises(ReproError) as exc:
+        loader(os.path.join(CORPUS, name))
+    # structured subclasses only — the base class would lose the
+    # path/key context the issue requires
+    assert isinstance(
+        exc.value, (FormatError, CheckpointError, NetError)
+    ), f"{name}: got bare {type(exc.value).__name__}"
+    assert str(exc.value), f"{name}: error must carry a message"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in corpus_files() if n.startswith(("circuit_", "result_"))],
+)
+def test_format_errors_carry_source_context(name):
+    if name.startswith("circuit_degenerate"):
+        # degenerate *semantics* keep their established NetError type
+        pytest.skip("semantic error, not a format error")
+    path = os.path.join(CORPUS, name)
+    loader = LOADERS[name.split("_")[0]]
+    with pytest.raises(FormatError) as exc:
+        loader(path)
+    assert exc.value.path == path
+    assert path in str(exc.value)
