@@ -1,0 +1,209 @@
+"""Flat CSR graph core vs dict adjacency: end-to-end routing wall-clock.
+
+Not a paper table — this bench quantifies the tentpole claim behind
+``RouterConfig.graph_backend``: on production-sized XC4000 devices the
+flat backend (CSR arrays + incremental refreeze + the ``best[]``-array
+Dijkstra kernel) routes whole circuits substantially faster than the
+dict-adjacency reference, while producing bit-identical results — the
+differential suite (``tests/differential/``) proves trees, wirelengths
+and channel widths equal; this bench re-asserts the result signature
+on every timed run so a speed win can never mask a divergence.
+
+Timing methodology: the two backends are *interleaved* rep by rep and
+the best-of-N wall-clock is kept per backend.  Back-to-back runs of
+the same workload drift 10-30% on shared machines; interleaving puts
+both backends through the same thermal/load environment and best-of-N
+discards the outliers, which is what makes a CI gate on wall-clock
+viable at all.
+
+Emits ``BENCH_graph_core.json`` at the repository root (and a text
+block under ``benchmarks/output/``).  Runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_graph_core.py
+
+or through pytest, where it asserts the headline ≥ 30% wall-clock
+reduction on the 16x16 device.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+from repro.engine import RoutingSession
+from repro.fpga import CircuitSpec, synthesize_circuit, xc4000
+from repro.router import RouterConfig
+
+try:  # pytest provides `record` via conftest; standalone runs inline it
+    from .conftest import full_scale, record
+except ImportError:  # pragma: no cover - script entry
+    from conftest import full_scale, record
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_graph_core.json"
+
+#: the acceptance floor for the 16x16 wall-clock reduction
+REDUCTION_FLOOR_PCT = 30.0
+
+SEED = 7
+
+#: DOM exercises the full flat surface — per-sink SSSPs through the
+#: ShortestPathCache plus dominance scans over the dist/pred dicts —
+#: and is the heaviest per-net consumer of freeze()/sssp() among the
+#: acceptance algorithms, so it is where the CSR core's win is most
+#: load-bearing (and most reproducible).
+ALGORITHM = "dom"
+MAX_PASSES = 8
+
+#: (label, cols, rows, channel width, nets_2_3, nets_4_10, nets_over_10,
+#:  min_reps, max_reps) — the gated device gets a larger rep budget so
+#: best-of-N converges on the true minimum for both backends before
+#: the floor is applied
+DEVICES = [
+    ("8x8", 8, 8, 5, 16, 6, 2, 3, 5),
+    ("16x16", 16, 16, 8, 30, 12, 4, 3, 8),
+]
+
+#: a rep "improves" a backend's minimum only when it beats it by more
+#: than this fraction; two consecutive non-improving reps end the loop
+CONVERGENCE_RTOL = 0.01
+
+#: the device whose reduction is gated in CI
+GATED_DEVICE = "16x16"
+
+
+def build_workload(label, cols, rows, width, n23, n410, n10):
+    spec = CircuitSpec(
+        name=f"bench-{label}", family="xc4000", cols=cols, rows=rows,
+        nets_2_3=n23, nets_4_10=n410, nets_over_10=n10, published={},
+    )
+    return xc4000(cols, rows, width), synthesize_circuit(spec, seed=SEED)
+
+
+def result_signature(result):
+    """An exact, comparable image of a routing result: pass count,
+    total wirelength, and every route's edge set — the same contract
+    the differential suite enforces, re-checked on every timed run."""
+    routes = tuple(
+        (r.name, r.wirelength, tuple(sorted(repr(e) for e in r.edges)))
+        for r in sorted(result.routes, key=lambda r: r.name)
+    )
+    return (result.passes_used, result.total_wirelength, routes)
+
+
+def route_once(arch, circuit, backend):
+    """One full serial routing run; returns (seconds, signature)."""
+    config = RouterConfig(
+        algorithm=ALGORITHM, max_passes=MAX_PASSES,
+        graph_backend=backend,
+    )
+    # collector pauses are the single largest noise source at this
+    # timescale; a collected+disabled heap gives both backends the
+    # same allocation conditions
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = RoutingSession(arch, config, engine="serial").route(circuit)
+        seconds = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return seconds, result_signature(result)
+
+
+def bench_device(label, cols, rows, width, n23, n410, n10,
+                 min_reps, max_reps, extra_reps=0):
+    arch, circuit = build_workload(label, cols, rows, width, n23, n410, n10)
+    max_reps += extra_reps
+    best = {"dict": float("inf"), "flat": float("inf")}
+    signatures = {}
+    reps = stale = 0
+    while reps < max_reps:
+        improved = False
+        for backend in ("dict", "flat"):  # interleaved: shared conditions
+            seconds, signature = route_once(arch, circuit, backend)
+            if seconds < best[backend] * (1.0 - CONVERGENCE_RTOL):
+                improved = True
+            best[backend] = min(best[backend], seconds)
+            previous = signatures.setdefault(backend, signature)
+            if signature != previous:
+                raise AssertionError(
+                    f"{backend} backend non-deterministic on {label}"
+                )
+        reps += 1
+        stale = 0 if improved else stale + 1
+        # both minima held through two consecutive rounds: converged
+        if reps >= min_reps and stale >= 2:
+            break
+    if signatures["dict"] != signatures["flat"]:
+        raise AssertionError(
+            f"flat result diverged from dict reference on {label}"
+        )
+    reduction = 100.0 * (best["dict"] - best["flat"]) / best["dict"]
+    return {
+        "cols": cols,
+        "rows": rows,
+        "channel_width": width,
+        "nets": len(circuit.nets),
+        "reps": reps,
+        "dict_seconds": round(best["dict"], 4),
+        "flat_seconds": round(best["flat"], 4),
+        "reduction_pct": round(reduction, 2),
+        "total_wirelength": signatures["dict"][1],
+        "routed_nets": len(signatures["dict"][2]),
+    }
+
+
+def run_bench():
+    extra_reps = 2 if full_scale() else 0
+    doc = {
+        "schema": "repro.bench/graph-core-v1",
+        "algorithm": ALGORITHM,
+        "max_passes": MAX_PASSES,
+        "engine": "serial",
+        "seed": SEED,
+        "gated_device": GATED_DEVICE,
+        "reduction_floor_pct": REDUCTION_FLOOR_PCT,
+        "devices": {},
+    }
+    for label, *shape in DEVICES:
+        doc["devices"][label] = bench_device(
+            label, *shape, extra_reps=extra_reps
+        )
+    doc["reduction_pct"] = doc["devices"][GATED_DEVICE]["reduction_pct"]
+    return doc
+
+
+def write_bench(doc):
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    lines = [
+        "graph core bench (full serial routing, "
+        f"{doc['algorithm']} x{doc['max_passes']} passes, xc4000)",
+        f"{'device':<8} {'nets':>5} {'dict':>8} {'flat':>8} "
+        f"{'reduction':>10}",
+    ]
+    for label, dev in doc["devices"].items():
+        lines.append(
+            f"{label:<8} {dev['nets']:>5} {dev['dict_seconds']:>7.2f}s "
+            f"{dev['flat_seconds']:>7.2f}s {dev['reduction_pct']:>9.1f}%"
+        )
+    lines.append(f"[saved to {BENCH_PATH}]")
+    record("bench_graph_core", "\n".join(lines))
+
+
+def test_bench_graph_core():
+    doc = run_bench()
+    write_bench(doc)
+    gated = doc["devices"][GATED_DEVICE]
+    assert gated["reduction_pct"] >= REDUCTION_FLOOR_PCT
+    # the small device must at least not regress
+    assert doc["devices"]["8x8"]["reduction_pct"] > 0.0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_bench_graph_core()
+    print("ok")

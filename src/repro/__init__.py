@@ -54,7 +54,10 @@ from .errors import (
     WorkerCrashError,
 )
 from .graph import (
+    FlatGraph,
     Graph,
+    GraphView,
+    SearchPolicy,
     ShortestPathCache,
     dijkstra,
     grid_graph,
@@ -247,6 +250,9 @@ __all__ = [
     "VerificationError",
     # substrate
     "Graph",
+    "GraphView",
+    "FlatGraph",
+    "SearchPolicy",
     "ShortestPathCache",
     "dijkstra",
     "shortest_path",

@@ -29,6 +29,7 @@ import argparse
 import os
 import random
 import sys
+import warnings
 from typing import List, Optional
 
 from .analysis import run_table1
@@ -40,6 +41,7 @@ from .errors import (
     UnroutableError,
     ValidationError,
 )
+from .graph.flat import GRAPH_BACKENDS
 from .graph.search import SEARCH_BACKENDS
 from .fpga import (
     XC3000_CIRCUITS,
@@ -57,15 +59,37 @@ def _family(spec):
     return xc3000 if spec.family == "xc3000" else xc4000
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Store the value under ``dest`` but warn that the flag is legacy.
+
+    The pre-redesign spellings still work (scripts keep running), but
+    each use emits a :class:`DeprecationWarning` naming the replacement
+    so they can be migrated before removal.
+    """
+
+    def __init__(self, *args, replacement: str = "", **kwargs):
+        self.replacement = replacement
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
+
+
 def _add_engine_options(
     parser, *, seed_default: int, trace_help: str, checkpointing: bool = False
 ) -> None:
     """The shared ``--engine/--seed/--passes/--trace`` option group.
 
-    Hidden aliases keep the pre-redesign spellings working:
-    ``--max-passes`` (for ``--passes``) and ``--trace-file`` (for
-    ``--trace``).  ``checkpointing`` adds ``--checkpoint/--resume`` for
-    the commands that actually run routing sessions.
+    Hidden aliases keep the pre-redesign spellings working (with a
+    :class:`DeprecationWarning`): ``--max-passes`` (for ``--passes``)
+    and ``--trace-file`` (for ``--trace``).  ``checkpointing`` adds
+    ``--checkpoint/--resume`` for the commands that actually run
+    routing sessions.
     """
     group = parser.add_argument_group("engine options")
     group.add_argument(
@@ -81,7 +105,8 @@ def _add_engine_options(
         help="move-to-front pass budget (RouterConfig.max_passes)",
     )
     group.add_argument(
-        "--max-passes", dest="passes", type=int, help=argparse.SUPPRESS
+        "--max-passes", dest="passes", type=int, help=argparse.SUPPRESS,
+        action=_DeprecatedAlias, replacement="--passes",
     )
     group.add_argument(
         "--search", choices=SEARCH_BACKENDS, default="auto",
@@ -90,9 +115,18 @@ def _add_engine_options(
             "produces bit-identical routes"
         ),
     )
+    group.add_argument(
+        "--graph-backend", choices=GRAPH_BACKENDS, default="auto",
+        help=(
+            "graph core (RouterConfig.graph_backend): mutable dict "
+            "adjacency, frozen flat CSR arrays, or auto by device size; "
+            "results are bit-identical either way"
+        ),
+    )
     group.add_argument("--trace", metavar="PATH", help=trace_help)
     group.add_argument(
-        "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS
+        "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS,
+        action=_DeprecatedAlias, replacement="--trace",
     )
     if checkpointing:
         group.add_argument(
@@ -130,6 +164,9 @@ def _config(args, algorithm: str) -> RouterConfig:
     search = getattr(args, "search", None)
     if search is not None:
         extra["search"] = search
+    graph_backend = getattr(args, "graph_backend", None)
+    if graph_backend is not None:
+        extra["graph_backend"] = graph_backend
     return RouterConfig(algorithm=algorithm, **extra)
 
 

@@ -55,6 +55,7 @@ from ..fpga.architecture import Architecture
 from ..fpga.netlist import PlacedCircuit, PlacedNet
 from ..fpga.routing_graph import RoutingResourceGraph
 from ..graph.core import Graph
+from ..graph.flat import resolve_graph_backend
 from ..graph.shortest_paths import (
     DijkstraCounters,
     ShortestPathCache,
@@ -215,6 +216,7 @@ class RoutingSession:
                 "route_timeout_s": cfg.route_timeout_s,
                 "max_relaxations": cfg.max_relaxations,
                 "search": cfg.search,
+                "graph_backend": cfg.graph_backend,
                 "verify": cfg.verify,
             },
         )
@@ -806,15 +808,28 @@ class RoutingSession:
             deadline, pass_no, cfg.pass_timeout_s, routes, failed
         )
         collect_counters = supervisor.current == "process"
+        # Flat shipping: one frozen CSR of the pinless base graph is
+        # shared by every task in the batch (and pickled once per
+        # worker), with per-net pin taps replayed worker-side; the
+        # materialized snapshot is identical to the dict copy.
+        ship_flat = (
+            resolve_graph_backend(cfg.graph_backend, rrg.graph) == "flat"
+        )
+        base_flat = rrg.graph.freeze().flat if ship_flat else None
         tasks: List[Optional[NetTask]] = []
         for placed in batch:
             algo = router.effective_algorithm(placed, critical)
             if algo == "two_pin":
                 tasks.append(None)
                 continue
-            snapshot = rrg.graph.copy()
             net = placed.to_graph_net()
-            rrg.attach_pins(net.terminals, graph=snapshot)
+            if ship_flat:
+                snapshot = None
+                taps = {pn: rrg.pin_taps(pn) for pn in net.terminals}
+            else:
+                snapshot = rrg.graph.copy()
+                rrg.attach_pins(net.terminals, graph=snapshot)
+                taps = None
             tasks.append(
                 NetTask(
                     name=placed.name,
@@ -822,6 +837,8 @@ class RoutingSession:
                     algo=algo,
                     config=self.config,
                     graph=snapshot,
+                    flat=base_flat,
+                    pin_taps=taps,
                     collect_counters=collect_counters,
                     index=self._task_counter,
                     faults=self.faults,

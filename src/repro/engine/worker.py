@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import DisconnectedError, GraphError
 from ..graph.core import Graph
+from ..graph.flat import FlatGraph
 from ..graph.search import SearchPolicy
 from ..graph.shortest_paths import (
     DijkstraBudget,
@@ -48,8 +49,17 @@ class NetTask:
     net: Net
     algo: str
     config: RouterConfig
-    #: routing-graph snapshot with this net's pins already attached
-    graph: Graph
+    #: routing-graph snapshot with this net's pins already attached —
+    #: dict-backend shipping; None when the task ships flat arrays
+    graph: Optional[Graph] = None
+    #: frozen CSR snapshot of the *pinless* base graph — flat-backend
+    #: shipping.  One FlatGraph is shared (and pickled once per worker
+    #: batch) by every task of a batch; the worker thaws it and replays
+    #: this net's pin attachment locally from ``pin_taps``
+    flat: Optional[FlatGraph] = None
+    #: pin -> [(junction, weight)] connection-block taps for this net's
+    #: terminals (see RoutingResourceGraph.pin_taps)
+    pin_taps: Optional[Dict[Tuple, List[Tuple[Tuple, float]]]] = None
     #: True when the worker runs out-of-process and must ship its own
     #: Dijkstra counters back with the result
     collect_counters: bool = False
@@ -82,6 +92,36 @@ def make_budget(config: RouterConfig) -> Optional[DijkstraBudget]:
     return DijkstraBudget(
         max_relaxations=config.max_relaxations, deadline=deadline
     )
+
+
+def materialize_graph(task: NetTask) -> Graph:
+    """The routing-graph snapshot this task routes on.
+
+    Dict shipping returns the pre-attached snapshot unchanged.  Flat
+    shipping thaws the shared base CSR — which reconstructs the exact
+    adjacency ordering of the live graph it was frozen from — and
+    replays the pin attachment for this net's terminals with the same
+    add order and the same survival checks as
+    :meth:`RoutingResourceGraph.attach_pins`, so the materialized graph
+    is identical to the dict snapshot the session would have shipped.
+    """
+    if task.graph is not None:
+        return task.graph
+    if task.flat is None or task.pin_taps is None:
+        raise GraphError(
+            f"task {task.name!r} carries neither a graph snapshot "
+            f"nor flat arrays"
+        )
+    g = task.flat.thaw()
+    taps = task.pin_taps
+    for pn in task.net.terminals:
+        if pn not in taps:
+            raise GraphError(f"{pn!r} has no shipped pin taps")
+        g.add_node(pn)
+        for end, w in taps[pn]:
+            if g.has_node(end):
+                g.add_edge(pn, end, w)
+    return g
 
 
 def run_net_task(task: NetTask) -> Dict[str, object]:
@@ -118,7 +158,7 @@ def run_net_task(task: NetTask) -> Dict[str, object]:
 def _run(
     task: NetTask, counters: Optional[DijkstraCounters]
 ) -> Dict[str, object]:
-    graph = task.graph
+    graph = materialize_graph(task)
     net = task.net
 
     def done(payload: Dict[str, object]) -> Dict[str, object]:
@@ -130,7 +170,9 @@ def _run(
         if not graph.has_node(pin) or graph.degree(pin) == 0:
             return done({"name": task.name, "status": INFEASIBLE})
     policy = SearchPolicy(
-        task.config.search, heuristic_scale=task.heuristic_scale
+        task.config.search,
+        heuristic_scale=task.heuristic_scale,
+        graph_backend=task.config.graph_backend,
     )
     cache = ShortestPathCache(graph, search=policy)
     # mirrors FPGARouter._route_one: goal-directed backends settle just

@@ -101,6 +101,10 @@ class RoutingResourceGraph:
         self._jj_incident: Optional[Dict[Tuple, List[Tuple[Tuple, float]]]] = (
             None
         )
+        #: pristine-device CSR snapshot, captured on the first
+        #: :meth:`reset`; later resets thaw it instead of replaying
+        #: E ``add_edge`` calls (see reset)
+        self._pristine: Optional["FlatGraph"] = None  # noqa: F821
         self._build()
 
     # ------------------------------------------------------------------
@@ -332,17 +336,43 @@ class RoutingResourceGraph:
             if self.graph.has_node(pn):
                 self.graph.remove_node(pn)
 
+    def freeze(self) -> "GraphView":  # noqa: F821 - forward ref
+        """The live graph's frozen CSR view (``self.graph.freeze()``).
+
+        Memoized per graph version: any commit, uncommit, reweight or
+        pin attach/detach transparently invalidates it.
+        """
+        return self.graph.freeze()
+
+    def pin_taps(self, pin: Tuple) -> List[Tuple[Tuple, float]]:
+        """The connection-block taps ``[(junction, weight), ...]`` of a
+        pin, independent of which taps currently survive in the live
+        graph.  The engine ships these to workers alongside a frozen
+        base graph so each worker can replay :meth:`attach_pins`
+        locally instead of receiving a full per-net graph copy.
+        """
+        try:
+            return self._pin_edges[pin]
+        except KeyError:
+            raise GraphError(f"{pin!r} is not a pin of this device") from None
+
     def reset(self) -> None:
         """Restore the pristine routing graph (all resources free).
 
-        Rebuilds the graph from the recorded base weights — much cheaper
-        than re-deriving the architecture — so the router can start each
-        move-to-front pass from an unconsumed FPGA.
+        The first reset rebuilds the graph from the recorded base
+        weights and freezes the result into a CSR snapshot; every later
+        reset thaws that snapshot, which reconstructs a graph with the
+        *identical* adjacency ordering (so routing stays bit-identical
+        pass over pass) at a fraction of the ``add_edge`` replay cost.
         """
-        g = Graph()
-        for (u, v), w in self._base_weight.items():
-            g.add_edge(u, v, w)
-        self.graph = g
+        if self._pristine is None:
+            g = Graph()
+            for (u, v), w in self._base_weight.items():
+                g.add_edge(u, v, w)
+            self._pristine = g.freeze().flat
+            self.graph = g
+        else:
+            self.graph = self._pristine.thaw()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

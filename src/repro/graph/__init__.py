@@ -8,6 +8,16 @@ experimental workloads, and tree validation/pruning helpers.
 """
 
 from .core import Graph, edge_key
+from .flat import (
+    FLAT_AUTO_THRESHOLD,
+    GRAPH_BACKENDS,
+    FlatGraph,
+    GraphView,
+    flat_astar,
+    flat_bidirectional,
+    flat_dijkstra,
+    resolve_graph_backend,
+)
 from .distance_graph import DistanceGraph, terminal_distances
 from .multiweight import MultiWeightGraph, sweep_tradeoff
 from .generators import (
@@ -53,6 +63,14 @@ from .validation import (
 __all__ = [
     "Graph",
     "edge_key",
+    "FLAT_AUTO_THRESHOLD",
+    "GRAPH_BACKENDS",
+    "FlatGraph",
+    "GraphView",
+    "flat_astar",
+    "flat_bidirectional",
+    "flat_dijkstra",
+    "resolve_graph_backend",
     "DistanceGraph",
     "terminal_distances",
     "MultiWeightGraph",

@@ -19,6 +19,7 @@ small integers and grid coordinates.
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     Callable,
     Dict,
@@ -54,13 +55,49 @@ class Graph:
     ['a', 'c']
     """
 
-    __slots__ = ("_adj", "_num_edges", "_version", "_version_hooks")
+    __slots__ = (
+        "_adjacency",
+        "_num_edges",
+        "_version",
+        "_version_hooks",
+        "_frozen",
+        "_dirty",
+        "_dirty_added",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
-        self._adj: Dict[Node, Dict[Node, float]] = {}
+        self._adjacency: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
         self._version = 0
         self._version_hooks: List[Callable[[int], None]] = []
+        self._frozen: Optional[object] = None
+        # mutation delta since `_frozen` was built, for the incremental
+        # refreeze: nodes whose adjacency row changed, and nodes added
+        # (in insertion order).  None until a first freeze starts the
+        # lineage — unfrozen graphs pay one None-check per mutation.
+        self._dirty: Optional[set] = None
+        self._dirty_added: List[Node] = []
+
+    @property
+    def _adj(self) -> Dict[Node, Dict[Node, float]]:
+        """Deprecated alias for the internal adjacency store.
+
+        .. deprecated::
+            Reaching into ``Graph._adj`` bypasses version tracking and
+            the frozen-view cache.  Use the public API instead:
+            :meth:`neighbor_items` / :meth:`neighbors` for iteration,
+            :meth:`freeze` for a flat snapshot.  This alias will be
+            removed one release after the :class:`GraphView` redesign.
+        """
+        warnings.warn(
+            "Graph._adj is deprecated; use neighbor_items()/neighbors() "
+            "or Graph.freeze() instead (removal one release after the "
+            "GraphView redesign)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._adjacency
 
     # ------------------------------------------------------------------
     # mutation
@@ -90,10 +127,24 @@ class Graph:
         except ValueError:
             pass
 
+    def _touch(self, u: Node, v: Node) -> None:
+        """Record ``u``/``v`` in the refreeze delta (rows changed)."""
+        dirty = self._dirty
+        if dirty is not None:
+            dirty.add(u)
+            dirty.add(v)
+            if len(dirty) > 8192:
+                # delta too large to be worth patching; stop tracking
+                # until the next freeze restarts the lineage
+                self._dirty = None
+                self._dirty_added = []
+
     def add_node(self, node: Node) -> None:
         """Add ``node`` if not already present (idempotent)."""
-        if node not in self._adj:
-            self._adj[node] = {}
+        if node not in self._adjacency:
+            self._adjacency[node] = {}
+            if self._dirty is not None:
+                self._dirty_added.append(node)
             self._bump()
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
@@ -107,31 +158,40 @@ class Graph:
             raise GraphError(f"negative weight {weight} on edge ({u!r}, {v!r})")
         self.add_node(u)
         self.add_node(v)
-        if v not in self._adj[u]:
+        if v not in self._adjacency[u]:
             self._num_edges += 1
-        self._adj[u][v] = weight
-        self._adj[v][u] = weight
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+        self._touch(u, v)
         self._bump()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raise :class:`GraphError` if absent."""
         try:
-            del self._adj[u][v]
-            del self._adj[v][u]
+            del self._adjacency[u][v]
+            del self._adjacency[v][u]
         except KeyError:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
         self._num_edges -= 1
+        self._touch(u, v)
         self._bump()
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
         try:
-            neighbors = self._adj.pop(node)
+            neighbors = self._adjacency.pop(node)
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
         for other in neighbors:
-            del self._adj[other][node]
+            del self._adjacency[other][node]
         self._num_edges -= len(neighbors)
+        dirty = self._dirty
+        if dirty is not None:
+            dirty.add(node)
+            dirty.update(neighbors)
+            if len(dirty) > 8192:
+                self._dirty = None
+                self._dirty_added = []
         self._bump()
 
     def set_weight(self, u: Node, v: Node, weight: float) -> None:
@@ -140,8 +200,9 @@ class Graph:
             raise GraphError(f"negative weight {weight} on edge ({u!r}, {v!r})")
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
-        self._adj[u][v] = weight
-        self._adj[v][u] = weight
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+        self._touch(u, v)
         self._bump()
 
     def scale_weight(self, u: Node, v: Node, factor: float) -> None:
@@ -157,45 +218,45 @@ class Graph:
         return self._version
 
     def has_node(self, node: Node) -> bool:
-        return node in self._adj
+        return node in self._adjacency
 
     def has_edge(self, u: Node, v: Node) -> bool:
-        return u in self._adj and v in self._adj[u]
+        return u in self._adjacency and v in self._adjacency[u]
 
     def weight(self, u: Node, v: Node) -> float:
         """Weight of edge ``{u, v}``; raises if the edge is absent."""
         try:
-            return self._adj[u][v]
+            return self._adjacency[u][v]
         except KeyError:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
 
     def neighbors(self, node: Node) -> Iterable[Node]:
         try:
-            return self._adj[node].keys()
+            return self._adjacency[node].keys()
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
     def neighbor_items(self, node: Node):
         """``(neighbor, weight)`` pairs — the Dijkstra hot path."""
         try:
-            return self._adj[node].items()
+            return self._adjacency[node].items()
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
     def degree(self, node: Node) -> int:
         try:
-            return len(self._adj[node])
+            return len(self._adjacency[node])
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
     @property
     def nodes(self) -> Iterable[Node]:
-        return self._adj.keys()
+        return self._adjacency.keys()
 
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
         """Iterate each undirected edge exactly once as ``(u, v, w)``."""
         seen = set()
-        for u, nbrs in self._adj.items():
+        for u, nbrs in self._adjacency.items():
             for v, w in nbrs.items():
                 if v not in seen:
                     yield (u, v, w)
@@ -203,7 +264,7 @@ class Graph:
 
     @property
     def num_nodes(self) -> int:
-        return len(self._adj)
+        return len(self._adjacency)
 
     @property
     def num_edges(self) -> int:
@@ -218,11 +279,57 @@ class Graph:
     # version hooks are observer callbacks and do not travel)
     # ------------------------------------------------------------------
     def __getstate__(self):
-        return (self._adj, self._num_edges, self._version)
+        return (self._adjacency, self._num_edges, self._version)
 
     def __setstate__(self, state) -> None:
-        self._adj, self._num_edges, self._version = state
+        self._adjacency, self._num_edges, self._version = state
         self._version_hooks = []
+        self._frozen = None
+        self._dirty = None
+        self._dirty_added = []
+
+    # ------------------------------------------------------------------
+    # frozen views
+    # ------------------------------------------------------------------
+    def freeze(self) -> "GraphView":  # noqa: F821 - forward ref
+        """An immutable CSR snapshot of this graph (memoized).
+
+        Returns a :class:`~repro.graph.flat.GraphView` whose flat
+        int-indexed arrays mirror the current adjacency exactly —
+        same node enumeration order, same per-node neighbor order —
+        so the flat search kernels replicate the dict kernels'
+        tie-breaking bit for bit.  The view is cached per
+        :attr:`version`: repeated calls between mutations are free,
+        and any mutation (commit, uncommit, reweight, pin attach)
+        transparently invalidates it.
+
+        Refreezing after a mutation is *incremental*: the graph tracks
+        which rows changed since the previous view, and the new view
+        shares every untouched row with the old one (see
+        :meth:`FlatGraph.refrozen`).  A routing net touches a handful
+        of rows — pin taps, committed junctions, reweighted segments —
+        so the per-net refreeze is O(delta), not O(V+E).
+        """
+        view = self._frozen
+        if view is not None and view.version == self._version:
+            return view
+        from .flat import FlatGraph, GraphView
+
+        flat = None
+        if view is not None and self._dirty is not None:
+            flat = view.flat.refrozen(
+                self._adjacency,
+                self._dirty,
+                self._dirty_added,
+                self._num_edges,
+            )
+        if flat is None:
+            flat = FlatGraph.from_graph(self)
+        view = GraphView(flat, self._version, self)
+        self._frozen = view
+        self._dirty = set()
+        self._dirty_added = []
+        return view
 
     # ------------------------------------------------------------------
     # derived graphs
@@ -230,18 +337,18 @@ class Graph:
     def copy(self) -> "Graph":
         """Deep copy (independent adjacency; node objects are shared)."""
         g = Graph()
-        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._adjacency = {u: dict(nbrs) for u, nbrs in self._adjacency.items()}
         g._num_edges = self._num_edges
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """Induced subgraph on ``nodes`` (nodes absent from G are ignored)."""
-        keep = {n for n in nodes if n in self._adj}
+        keep = {n for n in nodes if n in self._adjacency}
         g = Graph()
         for n in keep:
             g.add_node(n)
         for u in keep:
-            for v, w in self._adj[u].items():
+            for v, w in self._adjacency[u].items():
                 if v in keep and not g.has_edge(u, v):
                     g.add_edge(u, v, w)
         return g
@@ -260,13 +367,13 @@ class Graph:
     # ------------------------------------------------------------------
     def connected_component(self, start: Node) -> set:
         """Set of nodes reachable from ``start``."""
-        if start not in self._adj:
+        if start not in self._adjacency:
             raise GraphError(f"node {start!r} not in graph")
         seen = {start}
         stack = [start]
         while stack:
             u = stack.pop()
-            for v in self._adj[u]:
+            for v in self._adjacency[u]:
                 if v not in seen:
                     seen.add(v)
                     stack.append(v)
@@ -286,9 +393,9 @@ class Graph:
                 return True
             component = self.connected_component(targets[0])
             return all(t in component for t in targets)
-        if not self._adj:
+        if not self._adjacency:
             return True
-        first = next(iter(self._adj))
+        first = next(iter(self._adjacency))
         return len(self.connected_component(first)) == self.num_nodes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,946 @@
+"""Flat CSR graph core: int-indexed arrays behind the frozen-view API.
+
+The dict-adjacency :class:`~repro.graph.core.Graph` is the right
+substrate for *mutation* — committing a routed net deletes nodes,
+congestion re-weighting touches edges — but it is the wrong substrate
+for *search*: every Dijkstra relaxation pays several tuple hashes
+(``seen``/``dist``/``pred`` lookups keyed by structured node tuples
+like ``("J", x, y, side, track)``).  Production FPGA routers run on
+flat integer-indexed routing-resource graphs for exactly this reason.
+
+This module provides that representation:
+
+* :class:`FlatGraph` — an immutable CSR (compressed-sparse-row)
+  snapshot: ``indptr``/``indices``/``weights`` numpy arrays plus a node
+  table mapping int ids back to the original node objects.  Node
+  enumeration order and per-row neighbor order mirror the source
+  graph's dict insertion order **exactly** — that is what lets the flat
+  kernels reproduce the dict kernels' tie-breaking bit for bit.
+* :class:`GraphView` — a :class:`FlatGraph` stamped with the
+  :attr:`Graph.version` it was frozen at.  ``Graph.freeze()`` memoizes
+  one view per version, so any mutation transparently invalidates it.
+* :func:`flat_dijkstra` / :func:`flat_astar` /
+  :func:`flat_bidirectional` — search kernels over int ids whose
+  returned ``(dist, pred)`` maps are **bit-identical** to
+  :func:`~repro.graph.shortest_paths.dijkstra`,
+  :func:`~repro.graph.search.astar` and
+  :func:`~repro.graph.search.bidirectional_dijkstra`: same float
+  values, same settled sets, same tie-breaking, and the same dict
+  *iteration order* (several consumers — PFA's ``pred.items()`` walk,
+  the dominance oracle's ``d0.items()`` scans — are order-sensitive).
+
+Bit-identity contract
+---------------------
+Each flat kernel replays the exact event sequence of its dict
+counterpart: one shared push counter, heap entries ``(key, counter,
+id)``, stale pops counted, the budget checked on every pop, the same
+early-exit and cutoff tests in the same order.  Distances are the same
+IEEE doubles because the arithmetic (``d + w`` per relaxation) happens
+in the same order on the same values; the result dicts are rebuilt in
+settlement order (``dist``) and first-relaxation order (``pred``) so
+order-sensitive consumers see no difference.  The differential harness
+and golden files in ``tests/differential/`` gate this contract.
+
+Backend selection
+-----------------
+:data:`GRAPH_BACKENDS` is the ``RouterConfig.graph_backend`` /
+``--graph-backend`` vocabulary.  ``"auto"`` (the default) uses the flat
+core once a graph reaches :data:`FLAT_AUTO_THRESHOLD` nodes — below
+that the freeze cost outweighs the per-relaxation savings — and keeps
+the dict kernels for small graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from ..errors import GraphError
+from .core import Graph
+from .shortest_paths import get_dijkstra_budget, get_dijkstra_counters
+
+Node = Hashable
+INF = float("inf")
+
+#: the RouterConfig.graph_backend vocabulary
+GRAPH_BACKENDS = ("dict", "flat", "auto")
+
+#: "auto" switches to the flat core at this node count: below it the
+#: O(V+E) freeze outweighs the per-relaxation hashing it saves
+FLAT_AUTO_THRESHOLD = 256
+
+
+def _extend_coords(
+    coords: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    nodes: List[Node],
+    n_old: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Grow a lattice-coordinate table to cover appended node slots."""
+    from .search import lattice_coordinate
+
+    xs0, ys0, valid0 = coords
+    n = len(nodes)
+    if n == n_old:
+        return coords
+    xs = np.zeros(n, dtype=np.float64)
+    ys = np.zeros(n, dtype=np.float64)
+    valid = np.zeros(n, dtype=bool)
+    xs[:n_old] = xs0
+    ys[:n_old] = ys0
+    valid[:n_old] = valid0
+    for i in range(n_old, n):
+        c = lattice_coordinate(nodes[i])
+        if c is not None:
+            xs[i] = c[0]
+            ys[i] = c[1]
+            valid[i] = True
+    return (xs, ys, valid)
+
+
+def resolve_graph_backend(choice: str, graph) -> str:
+    """Resolve a :data:`GRAPH_BACKENDS` choice to ``"dict"``/``"flat"``.
+
+    ``graph`` only needs a ``num_nodes`` attribute; it is consulted for
+    the ``"auto"`` size heuristic.
+    """
+    if choice == "dict":
+        return "dict"
+    if choice == "flat":
+        return "flat"
+    if choice != "auto":
+        raise GraphError(
+            f"unknown graph backend {choice!r}; "
+            f"expected one of {GRAPH_BACKENDS}"
+        )
+    return "flat" if graph.num_nodes >= FLAT_AUTO_THRESHOLD else "dict"
+
+
+class FlatGraph:
+    """An immutable int-indexed snapshot of an undirected weighted graph.
+
+    Two interchangeable layouts of the same data:
+
+    * **rows** — per-node Python lists of ``(neighbor id, weight)``
+      pairs, the representation the search kernels iterate.  Built
+      eagerly by :meth:`from_graph` (freezing is on the router's
+      per-net critical path).
+    * **CSR arrays** — ``indptr``/``indices``/``weights`` numpy arrays
+      (node ``i``'s half-edges occupy ``indptr[i]:indptr[i+1]``),
+      materialized lazily for pickling and the vectorized heuristic
+      tables.
+
+    Both the node enumeration and every row's neighbor order replicate
+    the source graph's dict insertion order, so searches over the flat
+    form break ties exactly like searches over the dict adjacency.
+
+    Instances are cheap to pickle (three numpy arrays plus the node
+    table) — the engine ships them to worker processes instead of full
+    dict graphs — and :meth:`thaw` reconstructs an equivalent mutable
+    :class:`Graph` with identical adjacency ordering on the other side.
+
+    Weights are stored as float64; integer edge weights round-trip to
+    the equal float value (``2 -> 2.0``).
+    """
+
+    __slots__ = (
+        "nodes",
+        "num_edges",
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_index",
+        "_rows",
+        "_coords",
+        "_mh_tables",
+        "_num_ghosts",
+    )
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        indptr: Optional[np.ndarray],
+        indices: Optional[np.ndarray],
+        weights: Optional[np.ndarray],
+        num_edges: int,
+    ) -> None:
+        self.nodes = nodes
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self.num_edges = num_edges
+        self._index: Optional[Dict[Node, int]] = None
+        self._rows: Optional[List[List[Tuple[int, float]]]] = None
+        self._coords: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._mh_tables: Dict[Tuple[Node, float], List[float]] = {}
+        # dead slots left behind by incremental refreezes (see
+        # `refrozen`): entries of `nodes`/`rows` that no longer belong
+        # to the graph.  They are unreachable (no surviving row
+        # references them, and `_index` drops them), so the kernels
+        # never visit one; only the node-enumeration surface and
+        # pickling need to skip them.
+        self._num_ghosts = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "FlatGraph":
+        """Freeze ``graph`` into flat form, preserving insertion order.
+
+        ``freeze()`` happens once per net on the live routing graph, so
+        this path is the latency-critical one: it builds only the id
+        table and the Python row lists the kernels iterate.  The CSR
+        numpy arrays are derived lazily (:meth:`_materialize_arrays`)
+        the first time something actually needs them — pickling, the
+        vectorized Manhattan table — which keeps a freeze-then-search
+        cycle cheaper than a single dict-kernel sweep.
+        """
+        adj = graph._adjacency
+        nodes = list(adj)
+        index = {u: i for i, u in enumerate(nodes)}
+        rows = [
+            [(index[v], float(w)) for v, w in nbrs.items()]
+            for nbrs in adj.values()
+        ]
+        flat = cls(nodes, None, None, None, graph.num_edges)
+        flat._index = index
+        flat._rows = rows
+        return flat
+
+    def refrozen(
+        self,
+        adj: Dict[Node, Dict[Node, float]],
+        dirty: Iterable[Node],
+        added: List[Node],
+        num_edges: int,
+    ) -> Optional["FlatGraph"]:
+        """A new snapshot patched from this one, or None to force a
+        full rebuild.
+
+        ``Graph.freeze()`` calls this with the set of nodes whose
+        adjacency changed (``dirty``) and the nodes added (``added``,
+        in insertion order) since this snapshot was taken.  Only those
+        rows are rebuilt; everything else — node slots, ids, unchanged
+        rows — is shared structurally with this snapshot, which stays
+        valid and immutable.  A routing pass mutates a handful of rows
+        per net (pin taps, committed junctions, reweighted segments),
+        so the per-net refreeze drops from O(V+E) to O(delta).
+
+        Removed nodes keep their id as a dead *ghost* slot (an empty
+        row, dropped from the index); a removed-then-re-added node gets
+        a fresh id at the tail, which is exactly where dict insertion
+        order puts it.  Ghosts are unreachable because every neighbor
+        of a removed node is marked dirty, so each referencing row is
+        rebuilt here.  Returns None — caller falls back to
+        :meth:`from_graph` — when the delta or the accumulated ghosts
+        outgrow the point where patching beats rebuilding.
+        """
+        rows_base = self._rows
+        if rows_base is None:
+            return None
+        n = len(adj)
+        if (len(dirty) + len(added)) * 8 > n:
+            return None
+        if (self._num_ghosts + len(added)) * 2 > n:
+            return None
+        index = dict(self.index)
+        nodes = list(self.nodes)
+        rows = list(rows_base)
+        ghosts = self._num_ghosts
+        for d in dirty:
+            if d not in adj:
+                i = index.pop(d, None)
+                if i is not None:
+                    rows[i] = []
+                    ghosts += 1
+        for nd in added:
+            if nd not in adj:
+                continue  # added then removed within the window
+            old = index.get(nd)
+            if old is not None:
+                # re-added after a removal: retire the old slot so the
+                # node's enumeration position moves to the tail, where
+                # dict re-insertion order puts it
+                rows[old] = []
+                ghosts += 1
+            i = len(nodes)
+            nodes.append(nd)
+            rows.append([])
+            index[nd] = i
+        for d in dirty:
+            i = index.get(d)
+            if i is not None:
+                rows[i] = [
+                    (index[v], float(w)) for v, w in adj[d].items()
+                ]
+        for nd in added:
+            i = index.get(nd)
+            if i is not None:
+                rows[i] = [
+                    (index[v], float(w)) for v, w in adj[nd].items()
+                ]
+        flat = FlatGraph(nodes, None, None, None, num_edges)
+        flat._index = index
+        flat._rows = rows
+        flat._num_ghosts = ghosts
+        if self._coords is not None:
+            # node slots are append-only, so the lattice table carries
+            # forward: recompute only the appended tail (ghost slots
+            # keep their stale coords — nothing reaches them)
+            flat._coords = _extend_coords(
+                self._coords, nodes, len(self.nodes)
+            )
+        return flat
+
+    def _materialize_arrays(self) -> None:
+        """Build the CSR arrays from the row lists."""
+        rows = self._rows
+        if rows is None:  # pragma: no cover - unreachable via ctors
+            raise GraphError("FlatGraph has neither rows nor arrays")
+        indptr = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        for row in rows:
+            for j, w in row:
+                indices.append(j)
+                weights.append(w)
+            indptr.append(len(indices))
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._indices = np.asarray(indices, dtype=np.int64)
+        self._weights = np.asarray(weights, dtype=np.float64)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (lazily materialized)."""
+        if self._indptr is None:
+            self._materialize_arrays()
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR neighbor-id array (lazily materialized)."""
+        if self._indices is None:
+            self._materialize_arrays()
+        return self._indices
+
+    @property
+    def weights(self) -> np.ndarray:
+        """CSR float64 weight array (lazily materialized)."""
+        if self._weights is None:
+            self._materialize_arrays()
+        return self._weights
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes) - self._num_ghosts
+
+    @property
+    def index(self) -> Dict[Node, int]:
+        """Node object -> int id (lazily rebuilt after unpickling).
+
+        The lazy rebuild is only reachable on unpickled snapshots,
+        which are ghost-free by construction (:meth:`__getstate__`
+        compacts); a refrozen snapshot always carries its index.
+        """
+        if self._index is None:
+            self._index = {u: i for i, u in enumerate(self.nodes)}
+        return self._index
+
+    def alive_nodes(self) -> List[Node]:
+        """The graph's nodes in enumeration order, ghost slots skipped."""
+        if not self._num_ghosts:
+            return self.nodes
+        index = self.index
+        return [
+            nd for i, nd in enumerate(self.nodes) if index.get(nd) == i
+        ]
+
+    def node_id(self, node: Node) -> int:
+        try:
+            return self.index[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def has_node(self, node: Node) -> bool:
+        return node in self.index
+
+    def rows(self) -> List[List[Tuple[int, float]]]:
+        """Per-node ``(neighbor id, weight)`` lists — the kernel hot path.
+
+        Plain Python lists: iterating numpy scalars inside the Dijkstra
+        loop would cost more than the hashing it replaces.  A frozen
+        snapshot carries its rows from birth; an unpickled one (worker
+        shipping) rebuilds them here from the CSR arrays, recovering
+        the identical float64 values via ``ndarray.tolist()``.
+        """
+        if self._rows is None:
+            idx = self._indices.tolist()
+            wts = self._weights.tolist()
+            ptr = self._indptr.tolist()
+            self._rows = [
+                list(zip(idx[a:b], wts[a:b]))
+                for a, b in zip(ptr, ptr[1:])
+            ]
+        return self._rows
+
+    def neighbor_ids(self, i: int) -> Iterator[Tuple[int, float]]:
+        """``(neighbor id, weight)`` pairs of node id ``i``."""
+        return iter(self.rows()[i])
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; raises if absent."""
+        ui = self.node_id(u)
+        vi = self.node_id(v)
+        for j, w in self.rows()[ui]:
+            if j == vi:
+                return w
+        raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Each undirected edge once, as ``(u, v, w)`` node objects."""
+        nodes = self.nodes
+        for i, row in enumerate(self.rows()):
+            for j, w in row:
+                if j > i:
+                    yield (nodes[i], nodes[j], w)
+                elif j == i:  # pragma: no cover - self-loops rejected
+                    yield (nodes[i], nodes[j], w)
+
+    # ------------------------------------------------------------------
+    # lattice geometry (vectorized Manhattan heuristic support)
+    # ------------------------------------------------------------------
+    def lattice_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(xs, ys, valid)`` per node id; invalid coords are 0.0.
+
+        ``valid[i]`` is False for nodes without a
+        :func:`~repro.graph.search.lattice_coordinate`; the Manhattan
+        table gives those nodes a bound of 0.0, exactly like the dict
+        heuristic does.
+        """
+        if self._coords is None:
+            from .search import lattice_coordinate
+
+            n = len(self.nodes)
+            xs = np.zeros(n, dtype=np.float64)
+            ys = np.zeros(n, dtype=np.float64)
+            valid = np.zeros(n, dtype=bool)
+            for i, node in enumerate(self.nodes):
+                c = lattice_coordinate(node)
+                if c is not None:
+                    xs[i] = c[0]
+                    ys[i] = c[1]
+                    valid[i] = True
+            self._coords = (xs, ys, valid)
+        return self._coords
+
+    def manhattan_table(
+        self, target: Node, scale: float
+    ) -> Optional[List[float]]:
+        """Per-id Manhattan bounds toward ``target``, or None.
+
+        Each entry equals ``scale * (|x - tx| + |y - ty|)`` computed
+        with the identical IEEE operation order as the scalar heuristic
+        in :func:`~repro.graph.search.manhattan_heuristic`, so the flat
+        A* kernel sees bit-identical ``f`` keys.  Nodes without a
+        lattice coordinate get 0.0 (the scalar fallback).
+
+        Tables are memoized per ``(target, scale)`` — the snapshot is
+        immutable, and the metric-closure sweeps of the Steiner
+        algorithms revisit the same sink many times per net.
+        """
+        cached = self._mh_tables.get((target, scale))
+        if cached is not None:
+            return cached
+        from .search import lattice_coordinate
+
+        tc = lattice_coordinate(target)
+        if tc is None:
+            return None
+        tx, ty = tc
+        xs, ys, valid = self.lattice_arrays()
+        h = scale * (np.abs(xs - tx) + np.abs(ys - ty))
+        if not valid.all():
+            h = np.where(valid, h, 0.0)
+        table = h.tolist()
+        self._mh_tables[(target, scale)] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # conversion / pickling
+    # ------------------------------------------------------------------
+    def thaw(self) -> Graph:
+        """Reconstruct a mutable :class:`Graph` from this snapshot.
+
+        The rebuilt adjacency has the identical node enumeration and
+        per-node neighbor order as the graph this snapshot was frozen
+        from, so ``freeze() -> thaw() -> freeze()`` is a fixpoint and
+        searches over the thawed graph break ties identically.
+
+        The thawed graph is born with this snapshot pre-installed as
+        its frozen view: it *is* the CSR image of the adjacency just
+        built, so the first ``freeze()`` after a few mutations (the
+        worker's pin attachment, the per-pass reset) patches this view
+        incrementally instead of rebuilding it from scratch.
+        """
+        nodes = self.nodes
+        rows = self.rows()
+        adj: Dict[Node, Dict[Node, float]] = {}
+        if self._num_ghosts:
+            index = self.index
+            for i, row in enumerate(rows):
+                nd = nodes[i]
+                if index.get(nd) != i:
+                    continue
+                adj[nd] = {nodes[j]: w for j, w in row}
+        else:
+            for i, row in enumerate(rows):
+                adj[nodes[i]] = {nodes[j]: w for j, w in row}
+        g = Graph()
+        g._adjacency = adj
+        g._num_edges = self.num_edges
+        g._frozen = GraphView(self, g._version, g)
+        g._dirty = set()
+        g._dirty_added = []
+        return g
+
+    def __getstate__(self):
+        # ship the compact CSR arrays, never the Python row lists —
+        # a worker batch pickles one FlatGraph per batch, and arrays
+        # serialize in a fraction of the space and time.  A refrozen
+        # snapshot compacts its ghost slots away first, so unpickled
+        # snapshots are always dense.
+        flat = self
+        if self._num_ghosts:
+            flat = FlatGraph.from_graph(self.thaw())
+        return (
+            flat.nodes,
+            flat.indptr,
+            flat.indices,
+            flat.weights,
+            flat.num_edges,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.nodes,
+            self._indptr,
+            self._indices,
+            self._weights,
+            self.num_edges,
+        ) = state
+        self._index = None
+        self._rows = None
+        self._coords = None
+        self._mh_tables = {}
+        self._num_ghosts = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlatGraph(|V|={self.num_nodes}, |E|={self.num_edges})"
+        )
+
+
+class GraphView:
+    """A :class:`FlatGraph` stamped with the version it was frozen at.
+
+    ``Graph.freeze()`` returns one of these and memoizes it until the
+    next mutation; consumers holding a view can cheaply check whether
+    it still describes a graph via :meth:`fresh`.  The search methods
+    delegate to the flat kernels, which are bit-identical to the dict
+    kernels (see the module docstring).
+    """
+
+    __slots__ = ("flat", "version", "_source")
+
+    def __init__(
+        self, flat: FlatGraph, version: int, source: Optional[Graph] = None
+    ) -> None:
+        self.flat = flat
+        self.version = version
+        self._source = weakref.ref(source) if source is not None else None
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "GraphView":
+        return cls(FlatGraph.from_graph(graph), graph.version, graph)
+
+    def fresh(self, graph: Graph) -> bool:
+        """True while this view still describes ``graph`` — it was
+        frozen *from this graph object* and the graph has not mutated
+        since.  A different graph is never fresh, even at an equal
+        version count."""
+        if self._source is not None and self._source() is not graph:
+            return False
+        return graph.version == self.version
+
+    @property
+    def num_nodes(self) -> int:
+        return self.flat.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.flat.num_edges
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self.flat.alive_nodes()
+
+    def has_node(self, node: Node) -> bool:
+        return self.flat.has_node(node)
+
+    def thaw(self) -> Graph:
+        return self.flat.thaw()
+
+    def sssp(
+        self,
+        source: Node,
+        targets: Optional[Iterable[Node]] = None,
+        cutoff: Optional[float] = None,
+    ) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        return flat_dijkstra(
+            self.flat, source, targets=targets, cutoff=cutoff
+        )
+
+    def astar(
+        self,
+        source: Node,
+        target: Node,
+        heuristic,
+        cutoff: Optional[float] = None,
+    ) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        return flat_astar(
+            self.flat, source, target, heuristic, cutoff=cutoff
+        )
+
+    def bidirectional(
+        self, source: Node, target: Node
+    ) -> Tuple[float, Optional[List[Node]]]:
+        return flat_bidirectional(self.flat, source, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphView({self.flat!r}, version={self.version})"
+
+
+def flat_dijkstra(
+    flat: FlatGraph,
+    source: Node,
+    targets: Optional[Iterable[Node]] = None,
+    cutoff: Optional[float] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Plain Dijkstra over the CSR arrays.
+
+    Bit-identical to :func:`~repro.graph.shortest_paths.dijkstra` on
+    the graph ``flat`` was frozen from: identical ``(dist, pred)``
+    values, identical tie-breaking, and identical dict iteration order
+    (``dist`` in settlement order, ``pred`` in first-relaxation order).
+    Budget checks and counter recording follow the same per-pop /
+    per-call cadence as the dict kernel.
+
+    One ``best`` array carries the whole seen/settled state: ``best[v]``
+    is v's cheapest pushed label, frozen at the true distance once v
+    settles.  The encoding is exact, not approximate — pushes improve
+    ``best[v]`` strictly, so the entry carrying the current ``best[v]``
+    is always the live one and a popped ``d > best[u]`` is precisely
+    the dict kernel's stale pop; a settled node can never be re-pushed
+    because ``nd = dist[u] + w >= dist[v]`` for non-negative weights.
+    Push set, push order, settle order and stale-pop count therefore
+    replay the dict kernel event for event.
+    """
+    index = flat.index
+    src = index.get(source)
+    if src is None:
+        raise GraphError(f"source {source!r} not in graph")
+    nodes = flat.nodes
+    rows = flat.rows()
+    n = len(nodes)
+
+    # a target absent from the graph can never settle: like the dict
+    # kernel's `remaining` set it holds the loop open to exhaustion
+    remaining: Optional[set] = None
+    missing = 0
+    if targets is not None:
+        remaining = set()
+        absent = set()
+        for t in targets:
+            ti = index.get(t)
+            if ti is None:
+                absent.add(t)
+            else:
+                remaining.add(ti)
+        remaining.discard(src)
+        missing = len(absent)
+
+    inf = INF
+    best = [inf] * n
+    pred_arr = [0] * n
+    pred_order: List[int] = []
+    dist: Dict[Node, float] = {}
+    best[src] = 0.0
+    counter = 0
+    pops = 0
+    budget = get_dijkstra_budget()
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, src)]
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    if budget is None and remaining is None and cutoff is None:
+        # hot path: the full unbudgeted SSSP the cache promotes
+        while heap:
+            d, _, u = heappop(heap)
+            pops += 1
+            if d > best[u]:
+                continue
+            dist[nodes[u]] = d
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < best[v]:
+                    if best[v] == inf:
+                        pred_order.append(v)
+                    best[v] = nd
+                    pred_arr[v] = u
+                    counter += 1
+                    heappush(heap, (nd, counter, v))
+    else:
+        while heap:
+            d, _, u = heappop(heap)
+            pops += 1
+            if budget is not None:
+                budget.check(pops, counter, backend="dijkstra")
+            if d > best[u]:
+                continue
+            dist[nodes[u]] = d
+            if remaining is not None:
+                remaining.discard(u)
+                if not remaining and not missing:
+                    break
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < best[v]:
+                    if cutoff is not None and nd > cutoff:
+                        continue
+                    if best[v] == inf:
+                        pred_order.append(v)
+                    best[v] = nd
+                    pred_arr[v] = u
+                    counter += 1
+                    heappush(heap, (nd, counter, v))
+    counters = get_dijkstra_counters()
+    if counters is not None:
+        counters.record(pops, counter, len(heap))
+    pred: Dict[Node, Node] = {}
+    for v in pred_order:
+        pred[nodes[v]] = nodes[pred_arr[v]]
+    return dist, pred
+
+
+def flat_astar(
+    flat: FlatGraph,
+    source: Node,
+    target: Node,
+    heuristic: Callable[[Node], float],
+    cutoff: Optional[float] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Goal-directed A* over the CSR arrays.
+
+    Bit-identical to :func:`~repro.graph.search.astar` under the same
+    heuristic.  Manhattan heuristics (``heuristic.key[0] ==
+    "manhattan"``) are evaluated through a vectorized per-id table —
+    elementwise the identical IEEE arithmetic as the scalar closure —
+    while arbitrary heuristics are called on node objects at exactly
+    the program points the dict kernel calls them.
+    """
+    index = flat.index
+    src = index.get(source)
+    if src is None:
+        raise GraphError(f"source {source!r} not in graph")
+    tgt = index.get(target)
+    if tgt is None:
+        raise GraphError(f"target {target!r} not in graph")
+    nodes = flat.nodes
+    rows = flat.rows()
+    n = len(nodes)
+
+    key = getattr(heuristic, "key", None)
+    table: Optional[List[float]] = None
+    if key is not None and key[0] == "manhattan":
+        table = flat.manhattan_table(target, key[1])
+    fn = heuristic
+
+    inf = INF
+    # `best[v]` = cheapest pushed g-label (the dict kernel's `seen`);
+    # the explicit settled flags stay because A* under a non-consistent
+    # heuristic may find a cheaper g for an already-settled node, and
+    # the dict kernel skips that relaxation rather than re-pushing
+    settled = bytearray(n)
+    best = [inf] * n
+    pred_arr = [0] * n
+    pred_order: List[int] = []
+    dist: Dict[Node, float] = {}
+    best[src] = 0.0
+    counter = 0
+    pops = 0
+    budget = get_dijkstra_budget()
+    h_src = table[src] if table is not None else fn(nodes[src])
+    # (f = g + h, tie counter, g, id), exactly as the dict kernel
+    heap: List[Tuple[float, int, float, int]] = [(h_src, 0, 0.0, src)]
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
+        _, _, g, u = heappop(heap)
+        pops += 1
+        if budget is not None:
+            budget.check(pops, counter, backend="astar")
+        if settled[u]:
+            continue
+        settled[u] = 1
+        dist[nodes[u]] = g
+        if u == tgt:
+            break
+        for v, w in rows[u]:
+            if settled[v]:
+                continue
+            ng = g + w
+            if cutoff is not None and ng > cutoff:
+                continue
+            if ng < best[v]:
+                hv = table[v] if table is not None else fn(nodes[v])
+                if hv == INF:
+                    continue
+                if best[v] == inf:
+                    pred_order.append(v)
+                best[v] = ng
+                pred_arr[v] = u
+                counter += 1
+                heappush(heap, (ng + hv, counter, ng, v))
+    counters = get_dijkstra_counters()
+    if counters is not None:
+        counters.record(pops, counter, len(heap))
+    pred: Dict[Node, Node] = {}
+    for v in pred_order:
+        pred[nodes[v]] = nodes[pred_arr[v]]
+    return dist, pred
+
+
+def flat_bidirectional(
+    flat: FlatGraph, source: Node, target: Node
+) -> Tuple[float, Optional[List[Node]]]:
+    """Two-frontier Dijkstra over the CSR arrays.
+
+    Bit-identical to
+    :func:`~repro.graph.search.bidirectional_dijkstra`: the shared push
+    counter, the forward-on-ties frontier selection and the meeting
+    rule replay the dict kernel's event sequence exactly, so the same
+    meeting node is found and the re-accumulated forward-order distance
+    is the same IEEE double.
+    """
+    index = flat.index
+    src = index.get(source)
+    if src is None:
+        raise GraphError(f"source {source!r} not in graph")
+    tgt = index.get(target)
+    if tgt is None:
+        raise GraphError(f"target {target!r} not in graph")
+    if src == tgt:
+        return 0.0, [source]
+    nodes = flat.nodes
+    rows = flat.rows()
+    n = len(nodes)
+    budget = get_dijkstra_budget()
+    # side 0 = forward, side 1 = backward; flat arrays per side
+    settled = (bytearray(n), bytearray(n))
+    in_seen = (bytearray(n), bytearray(n))
+    seen = ([0.0] * n, [0.0] * n)
+    dist_vals = ([0.0] * n, [0.0] * n)
+    pred_arr = ([0] * n, [0] * n)
+    in_seen[0][src] = 1
+    in_seen[1][tgt] = 1
+    heap_f: List[Tuple[float, int, int]] = [(0.0, 0, src)]
+    heap_b: List[Tuple[float, int, int]] = [(0.0, 0, tgt)]
+    heaps = (heap_f, heap_b)
+    counter = 0
+    pops = 0
+    best = INF
+    meet = -1
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        side = 0 if heap_f[0][0] <= heap_b[0][0] else 1
+        other = 1 - side
+        heap = heaps[side]
+        stl = settled[side]
+        stl_other = settled[other]
+        sn = seen[side]
+        isn = in_seen[side]
+        dv = dist_vals[side]
+        pr = pred_arr[side]
+        dv_other = dist_vals[other]
+        sn_other = seen[other]
+        isn_other = in_seen[other]
+        d, _, u = heapq.heappop(heap)
+        pops += 1
+        if budget is not None:
+            budget.check(pops, counter, backend="bidir")
+        if stl[u]:
+            continue
+        stl[u] = 1
+        dv[u] = d
+        if stl_other[u] and d + dv_other[u] < best:
+            best = d + dv_other[u]
+            meet = u
+        for v, w in rows[u]:
+            if stl[v]:
+                continue
+            nd = d + w
+            if not isn[v] or nd < sn[v]:
+                isn[v] = 1
+                sn[v] = nd
+                pr[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+            if isn_other[v]:
+                nb = nd + sn_other[v]
+                if nb < best:
+                    # any tentative other-side label is a realizable
+                    # path length: this only ever tightens the bound
+                    best = nb
+                    meet = v
+    counters = get_dijkstra_counters()
+    if counters is not None:
+        counters.record(pops, counter, len(heap_f) + len(heap_b))
+    if meet < 0:
+        return INF, None
+    # rebuild the node path: forward half via the forward pred chain,
+    # then the backward half appended toward the target
+    chain = [meet]
+    node = meet
+    while node != src:
+        node = pred_arr[0][node]
+        chain.append(node)
+    chain.reverse()
+    node = meet
+    while node != tgt:
+        node = pred_arr[1][node]
+        chain.append(node)
+    # re-accumulate the distance in forward edge order along the found
+    # path, exactly like the dict kernel (float addition order matters)
+    d = 0.0
+    for a, b in zip(chain, chain[1:]):
+        for j, w in rows[a]:
+            if j == b:
+                d += w
+                break
+    return d, [nodes[i] for i in chain]

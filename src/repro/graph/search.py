@@ -48,6 +48,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import GraphError
 from .core import Graph
+from .flat import GRAPH_BACKENDS, resolve_graph_backend
 from .shortest_paths import (
     dijkstra,
     get_dijkstra_budget,
@@ -450,6 +451,14 @@ class SearchPolicy:
         Dijkstra per landmark and is rebuilt whenever the graph
         version changes — intended for static general graphs, never
         for the mutating routing graph.
+    graph_backend:
+        One of :data:`~repro.graph.flat.GRAPH_BACKENDS`.  ``"flat"``
+        runs every plain and goal-directed kernel over the graph's
+        frozen CSR view (``Graph.freeze()``); ``"dict"`` keeps the
+        historical dict-adjacency kernels; ``"auto"`` (default) picks
+        flat once the graph is large enough to amortize the freeze.
+        The flat kernels are bit-identical to the dict kernels, so
+        this switch changes throughput, never results.
 
     All distances computed through a policy are exact, so any backend
     may share a cache's pair-distance store; the policy's :meth:`key`
@@ -461,6 +470,7 @@ class SearchPolicy:
         "backend",
         "heuristic_scale",
         "landmarks",
+        "graph_backend",
         "_scale_graph",
         "_scale_version",
         "_scale",
@@ -473,6 +483,7 @@ class SearchPolicy:
         *,
         heuristic_scale: Optional[float] = None,
         landmarks: int = 0,
+        graph_backend: str = "auto",
     ) -> None:
         if backend not in SEARCH_BACKENDS:
             raise GraphError(
@@ -485,16 +496,24 @@ class SearchPolicy:
             )
         if landmarks < 0:
             raise GraphError(f"landmarks must be >= 0, got {landmarks}")
+        if graph_backend not in GRAPH_BACKENDS:
+            raise GraphError(
+                f"unknown graph backend {graph_backend!r}; "
+                f"expected one of {GRAPH_BACKENDS}"
+            )
         self.backend = backend
         self.heuristic_scale = heuristic_scale
         self.landmarks = landmarks
+        self.graph_backend = graph_backend
         self._scale_graph: Optional[int] = None
         self._scale_version: Optional[int] = None
         self._scale: Optional[float] = None
         self._alt: Optional[LandmarkIndex] = None
 
     @classmethod
-    def for_architecture(cls, backend: str, arch) -> "SearchPolicy":
+    def for_architecture(
+        cls, backend: str, arch, graph_backend: str = "auto"
+    ) -> "SearchPolicy":
         """The router's policy: Manhattan scale from the architecture.
 
         ``min(segment_weight, pin_weight)`` bounds the cost of any
@@ -504,12 +523,44 @@ class SearchPolicy:
         """
         scale = min(arch.segment_weight, arch.pin_weight)
         if scale <= 0:
-            return cls(backend)
-        return cls(backend, heuristic_scale=scale)
+            return cls(backend, graph_backend=graph_backend)
+        return cls(
+            backend,
+            heuristic_scale=scale,
+            graph_backend=graph_backend,
+        )
 
     def key(self) -> Tuple:
         """Hashable identity (backend + heuristic configuration)."""
-        return (self.backend, self.heuristic_scale, self.landmarks)
+        return (
+            self.backend,
+            self.heuristic_scale,
+            self.landmarks,
+            self.graph_backend,
+        )
+
+    def graph_kernel(self, graph: Graph) -> str:
+        """``"flat"`` or ``"dict"`` — the plain kernel for ``graph``."""
+        return resolve_graph_backend(self.graph_backend, graph)
+
+    def plain_sssp(
+        self,
+        graph: Graph,
+        source: Node,
+        targets=None,
+        cutoff: Optional[float] = None,
+    ):
+        """Plain (possibly limited) Dijkstra via the resolved backend.
+
+        This is the cache's entry point for every canonical run: the
+        flat and dict kernels return bit-identical ``(dist, pred)``
+        maps, so which one executes is purely a throughput choice.
+        """
+        if self.graph_kernel(graph) == "flat":
+            return graph.freeze().sssp(
+                source, targets=targets, cutoff=cutoff
+            )
+        return dijkstra(graph, source, targets=targets, cutoff=cutoff)
 
     def _scale_for(self, graph: Graph) -> Optional[float]:
         if self.heuristic_scale is not None:
@@ -542,13 +593,23 @@ class SearchPolicy:
         """Exact ``minpath(u, v)`` via the configured kernel (inf if
         disconnected)."""
         backend = self.backend
+        use_flat = self.graph_kernel(graph) == "flat"
         if backend == "dijkstra":
-            dist, _ = dijkstra(graph, u, targets=[v])
+            if use_flat:
+                dist, _ = graph.freeze().sssp(u, targets=[v])
+            else:
+                dist, _ = dijkstra(graph, u, targets=[v])
             return dist.get(v, INF)
         if backend in ("astar", "auto"):
             h = self.heuristic_for(graph, v)
             if h is not None:
-                dist, _ = astar(graph, u, v, h)
+                if use_flat:
+                    dist, _ = graph.freeze().astar(u, v, h)
+                else:
+                    dist, _ = astar(graph, u, v, h)
                 return dist.get(v, INF)
+        if use_flat:
+            d, _ = graph.freeze().bidirectional(u, v)
+            return d
         d, _ = bidirectional_dijkstra(graph, u, v)
         return d

@@ -382,6 +382,11 @@ class ShortestPathCache:
     def __init__(self, graph: Graph, search=None):
         self._graph = graph
         self._store: Dict[Node, Entry] = {}
+        #: producing kernel ("dijkstra" = dict, "flat" = CSR) per full
+        #: entry — a full SSSP computed by one graph backend is never
+        #: served where the other backend's results are expected (the
+        #: same defense the partial keys carry, see _partial_key)
+        self._store_kernel: Dict[Node, str] = {}
         #: limited runs, keyed (source, frozenset(targets)|None, cutoff,
         #: kernel) — the kernel component guarantees a goal-directed
         #: run can never be served where a plain-Dijkstra result is
@@ -416,6 +421,7 @@ class ShortestPathCache:
             + len(self._pair_store)
         )
         self._store.clear()
+        self._store_kernel.clear()
         self._partial_store.clear()
         self._partial_index.clear()
         self._pair_store.clear()
@@ -463,19 +469,64 @@ class ShortestPathCache:
         self.invalidations = 0
         self.entries_invalidated = 0
 
+    def _plain_kernel(self) -> str:
+        """The active plain-Dijkstra kernel: ``"dijkstra"`` (dict
+        adjacency) or ``"flat"`` (CSR view), per the attached policy's
+        graph backend.  Both produce bit-identical results; the tag
+        exists so cached entries are never served across a backend
+        flip (e.g. a policy swap after :meth:`rebind`)."""
+        policy = self._search
+        if policy is None:
+            return "dijkstra"
+        return (
+            "flat"
+            if policy.graph_kernel(self._graph) == "flat"
+            else "dijkstra"
+        )
+
+    def _plain_run(
+        self,
+        source: Node,
+        targets: Optional[Iterable[Node]] = None,
+        cutoff: Optional[float] = None,
+    ) -> Entry:
+        """One canonical (possibly limited) run via the active kernel."""
+        if self._plain_kernel() == "flat":
+            return self._graph.freeze().sssp(
+                source, targets=targets, cutoff=cutoff
+            )
+        return dijkstra(
+            self._graph, source, targets=targets, cutoff=cutoff
+        )
+
+    def _full_entry(self, source: Node) -> Optional[Entry]:
+        """The stored full run for ``source`` — only if its producing
+        kernel matches the active one; a mismatched entry is dropped
+        and recomputed rather than served."""
+        entry = self._store.get(source)
+        if entry is None:
+            return None
+        if self._store_kernel.get(source) != self._plain_kernel():
+            del self._store[source]
+            self._store_kernel.pop(source, None)
+            return None
+        return entry
+
     def sssp(self, source: Node) -> Entry:
         """Full shortest-path tree from ``source`` (memoized).
 
         Only complete, untruncated runs are stored under the plain
         ``source`` key — a partial entry for the same source (from
         :meth:`sssp_limited`) is never promoted to answer this query.
+        Each stored entry carries the kernel that produced it.
         """
         self._check_version()
-        entry = self._store.get(source)
+        entry = self._full_entry(source)
         if entry is None:
             self.misses += 1
-            entry = dijkstra(self._graph, source)
+            entry = self._plain_run(source)
             self._store[source] = entry
+            self._store_kernel[source] = self._plain_kernel()
         else:
             self.hits += 1
         return entry
@@ -504,8 +555,9 @@ class ShortestPathCache:
         so its distance and predecessor chain are bit-identical to the
         full run's (absence still proves nothing).
         """
+        plain = self._plain_kernel()
         for key in self._partial_index.get(source, ()):
-            if key[3] != "dijkstra":
+            if key[3] != plain:
                 continue
             entry = self._partial_store.get(key)
             if entry is not None and target in entry[0]:
@@ -530,17 +582,17 @@ class ShortestPathCache:
         if targets is None and cutoff is None:
             return self.sssp(source)
         self._check_version()
-        full = self._store.get(source)
+        full = self._full_entry(source)
         if full is not None:
             self.hits += 1
             return full
-        key = self._partial_key(source, targets, cutoff)
+        key = self._partial_key(
+            source, targets, cutoff, self._plain_kernel()
+        )
         entry = self._partial_store.get(key)
         if entry is None:
             self.misses += 1
-            entry = dijkstra(
-                self._graph, source, targets=targets, cutoff=cutoff
-            )
+            entry = self._plain_run(source, targets=targets, cutoff=cutoff)
             self._partial_store[key] = entry
             self._index_partial(source, key)
         else:
@@ -560,12 +612,14 @@ class ShortestPathCache:
         answer is independent of the backend.
         """
         self._check_version()
-        if source in self._store:
+        entry = self._full_entry(source)
+        if entry is not None:
             self.hits += 1
-            return self._store[source][0].get(target, INF)
-        if target in self._store:
+            return entry[0].get(target, INF)
+        entry = self._full_entry(target)
+        if entry is not None:
             self.hits += 1
-            return self._store[target][0].get(source, INF)
+            return entry[0].get(source, INF)
         policy = self._search
         if policy is None or policy.backend == "dijkstra":
             return self.sssp(source)[0].get(target, INF)
@@ -614,9 +668,10 @@ class ShortestPathCache:
         fallback reconstructs from a target-rooted full run instead.
         """
         self._check_version()
-        if source in self._store:
+        full = self._full_entry(source)
+        if full is not None:
             self.hits += 1
-            dist, pred = self._store[source]
+            dist, pred = full
             if target not in dist:
                 raise DisconnectedError(source, target)
             return reconstruct_path(pred, source, target)
@@ -630,8 +685,10 @@ class ShortestPathCache:
         entry = self._partial_covering(source, target)
         if entry is None:
             self.misses += 1
-            entry = dijkstra(self._graph, source, targets=[target])
-            key = self._partial_key(source, [target], None)
+            entry = self._plain_run(source, targets=[target])
+            key = self._partial_key(
+                source, [target], None, self._plain_kernel()
+            )
             self._partial_store[key] = entry
             self._index_partial(source, key)
         else:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import RoutingError
+from ..graph.flat import GRAPH_BACKENDS
 from ..graph.search import SEARCH_BACKENDS
 
 #: algorithms the router can dispatch per net
@@ -98,6 +99,17 @@ class RouterConfig:
         routing trees — goal-directed kernels are used only for exact
         distance queries, and canonical paths always come from plain
         Dijkstra runs (see ``docs/search.md``).
+    graph_backend:
+        Graph-core selection, one of
+        :data:`~repro.graph.flat.GRAPH_BACKENDS`.  ``"dict"`` runs
+        every search over the mutable dict-adjacency
+        :class:`~repro.graph.core.Graph`; ``"flat"`` freezes the graph
+        into a CSR :class:`~repro.graph.flat.GraphView` per net and
+        runs the int-indexed flat kernels; ``"auto"`` (the default)
+        picks flat once the routing graph is large enough to amortize
+        the freeze.  The flat kernels are bit-identical to the dict
+        kernels — this switch changes wall-clock, never results (see
+        ``docs/graph.md``).
     verify:
         Self-verification mode, one of :data:`VERIFY_MODES`.
         ``"off"`` (default) changes nothing; ``"final"`` certifies the
@@ -123,6 +135,7 @@ class RouterConfig:
     route_timeout_s: Optional[float] = None
     max_relaxations: Optional[int] = None
     search: str = "auto"
+    graph_backend: str = "auto"
     verify: str = "off"
 
     def __post_init__(self) -> None:
@@ -135,6 +148,11 @@ class RouterConfig:
             raise RoutingError(
                 f"unknown search backend {self.search!r}; "
                 f"expected one of {SEARCH_BACKENDS}"
+            )
+        if self.graph_backend not in GRAPH_BACKENDS:
+            raise RoutingError(
+                f"unknown graph backend {self.graph_backend!r}; "
+                f"expected one of {GRAPH_BACKENDS}"
             )
         if self.algorithm not in ALGORITHMS:
             raise RoutingError(

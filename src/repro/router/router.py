@@ -150,9 +150,15 @@ class FPGARouter:
 
         The Manhattan scale comes from the architecture
         (``min(segment_weight, pin_weight)``), so it stays admissible
-        as pins attach/detach and congestion raises edge weights.
+        as pins attach/detach and congestion raises edge weights.  The
+        policy also carries the config's graph backend, so every cache
+        query dispatches to the flat or dict kernels accordingly.
         """
-        return SearchPolicy.for_architecture(self.config.search, self.arch)
+        return SearchPolicy.for_architecture(
+            self.config.search,
+            self.arch,
+            graph_backend=self.config.graph_backend,
+        )
 
     # ------------------------------------------------------------------
     # net ordering

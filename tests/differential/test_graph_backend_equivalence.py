@@ -1,0 +1,135 @@
+"""The flat CSR graph core must be indistinguishable from dict search.
+
+``RouterConfig.graph_backend`` promises that ``"flat"`` (and ``"auto"``
+when it resolves to flat) changes *how fast* searches run, never *what*
+gets routed.  This module replays the same workloads — the acceptance
+algorithms (PFA / IDOM / DJKA / DOM), each execution engine, the
+search-backend matrix, and the full channel-width negotiation — under
+the flat backend and asserts bit-identical results against the
+``"dict"`` reference: identical trees edge-for-edge, identical
+wirelengths, identical pass counts and channel widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import xc3000
+from repro.graph import SEARCH_BACKENDS
+from repro.router import RouterConfig, minimum_channel_width
+
+from .conftest import route_once, result_signature
+
+#: backends that must match "dict" exactly (auto must match whichever
+#: way its size heuristic resolves)
+FLAT_BACKENDS = ["flat", "auto"]
+
+
+class TestAlgorithmEquivalence:
+    @pytest.mark.parametrize("graph_backend", FLAT_BACKENDS)
+    @pytest.mark.parametrize("algorithm", ["pfa", "idom", "djka", "dom"])
+    def test_backend_matches_reference(
+        self, tiny_xc3000, algorithm, graph_backend
+    ):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm=algorithm, graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm=algorithm, graph_backend=graph_backend)
+        )
+        assert got == ref
+
+    def test_steiner_matches(self, tiny_xc3000):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm="ikmb", graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm="ikmb", graph_backend="flat")
+        )
+        assert got == ref
+
+    def test_xc4000_family_matches_reference(self, tiny_xc4000):
+        arch, circuit = tiny_xc4000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       graph_backend="flat")
+        )
+        assert got == ref
+
+
+class TestSearchBackendMatrix:
+    """The flat kernels sit underneath every SearchPolicy backend —
+    goal-directed dispatch (A*, bidirectional) must stay bit-identical
+    when the policy routes it to the CSR kernels."""
+
+    @pytest.mark.parametrize("search", SEARCH_BACKENDS)
+    def test_search_times_graph_backend(self, tiny_xc3000, search):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra",
+                       algorithm="pfa", graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend=search,
+                       algorithm="pfa", graph_backend="flat")
+        )
+        assert got == ref
+
+
+class TestEngineEquivalence:
+    """Flat shipping (shared CSR + per-net pin taps) must commit the
+    exact trees the per-net dict snapshots produce."""
+
+    @pytest.mark.parametrize("graph_backend", FLAT_BACKENDS)
+    @pytest.mark.parametrize("engine", ["serial", "thread"])
+    def test_engine_backend_matrix(self, tiny_xc3000, engine, graph_backend):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine="serial",
+                       graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine=engine,
+                       graph_backend=graph_backend)
+        )
+        assert got == ref
+
+    def test_process_engine_matches(self, tiny_xc3000):
+        arch, circuit = tiny_xc3000
+        ref = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine="serial",
+                       graph_backend="dict")
+        )
+        got = result_signature(
+            route_once(arch, circuit, backend="dijkstra", engine="process",
+                       graph_backend="flat", max_workers=2)
+        )
+        assert got == ref
+
+
+class TestChannelWidthEquivalence:
+    @pytest.mark.parametrize("algorithm", ["pfa", "djka"])
+    def test_negotiated_width_identical(self, tiny_xc3000, algorithm):
+        _, circuit = tiny_xc3000
+        ref_cfg = RouterConfig(algorithm=algorithm, search="dijkstra",
+                               graph_backend="dict", max_passes=4)
+        cfg = RouterConfig(algorithm=algorithm, search="dijkstra",
+                           graph_backend="flat", max_passes=4)
+        w_ref, res_ref = minimum_channel_width(
+            circuit, xc3000, ref_cfg, w_start=3, w_max=10
+        )
+        w_got, res_got = minimum_channel_width(
+            circuit, xc3000, cfg, w_start=3, w_max=10
+        )
+        assert w_got == w_ref
+        assert result_signature(res_got) == result_signature(res_ref)

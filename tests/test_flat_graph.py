@@ -1,0 +1,267 @@
+"""Unit tests for the flat CSR graph core and its integration seams.
+
+Covers what the property suite (test_flat_properties.py) does not:
+the backend resolver, the deprecated ``Graph._adj`` escape hatch,
+pickling, the cache's kernel tags, the worker's flat materialization,
+the config/CLI surface, and the package exports.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import pytest
+
+import repro
+from repro.errors import GraphError, RoutingError
+from repro.fpga import xc4000
+from repro.fpga.routing_graph import RoutingResourceGraph
+from repro.graph import (
+    FLAT_AUTO_THRESHOLD,
+    FlatGraph,
+    Graph,
+    GraphView,
+    SearchPolicy,
+    ShortestPathCache,
+    grid_graph,
+    resolve_graph_backend,
+)
+from repro.net import Net
+from repro.router import RouterConfig
+
+
+def small_graph():
+    g = Graph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 5.0)
+    g.add_node("lone")
+    return g
+
+
+def assert_same_adjacency(g, h):
+    assert list(g.nodes) == list(h.nodes)
+    assert g.num_edges == h.num_edges
+    for node in g.nodes:
+        assert list(g.neighbor_items(node)) == list(h.neighbor_items(node))
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_explicit_choices_pass_through(self):
+        g = small_graph()
+        assert resolve_graph_backend("dict", g) == "dict"
+        assert resolve_graph_backend("flat", g) == "flat"
+
+    def test_auto_picks_dict_below_threshold(self):
+        assert resolve_graph_backend("auto", small_graph()) == "dict"
+
+    def test_auto_picks_flat_at_threshold(self):
+        side = 1
+        while side * side < FLAT_AUTO_THRESHOLD:
+            side += 1
+        g = grid_graph(side, side)
+        assert g.num_nodes >= FLAT_AUTO_THRESHOLD
+        assert resolve_graph_backend("auto", g) == "flat"
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(GraphError):
+            resolve_graph_backend("csr", small_graph())
+
+    def test_config_validates_backend(self):
+        with pytest.raises(RoutingError):
+            RouterConfig(graph_backend="csr")
+        for choice in ("dict", "flat", "auto"):
+            assert RouterConfig(graph_backend=choice).graph_backend == choice
+
+
+# ----------------------------------------------------------------------
+# the deprecated dict-adjacency escape hatch
+# ----------------------------------------------------------------------
+def test_direct_adj_access_warns():
+    g = small_graph()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        adj = g._adj
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
+    assert adj is g._adjacency  # still functional, just deprecated
+
+
+def test_internal_code_does_not_warn():
+    """The library itself must stay off the deprecated property —
+    routing a grid end to end emits no DeprecationWarning."""
+    g = grid_graph(4, 4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        view = g.freeze()
+        view.sssp((0, 0))
+        view.thaw()
+
+
+# ----------------------------------------------------------------------
+# pickling (process-engine shipping)
+# ----------------------------------------------------------------------
+def test_flatgraph_pickle_round_trip():
+    g = small_graph()
+    flat = g.freeze().flat
+    flat.rows()  # populate a lazy mirror; it must not travel
+    clone = pickle.loads(pickle.dumps(flat))
+    assert isinstance(clone, FlatGraph)
+    assert clone.nodes == flat.nodes
+    assert clone.num_edges == flat.num_edges
+    assert_same_adjacency(g, clone.thaw())
+
+
+def test_pickle_is_base_arrays_only():
+    flat = grid_graph(6, 6).freeze().flat
+    flat.rows()
+    flat.index  # populate both lazies
+    state = flat.__getstate__()
+    blob_with_lazies = pickle.dumps(flat)
+    fresh = FlatGraph.from_graph(grid_graph(6, 6))
+    assert len(blob_with_lazies) == len(pickle.dumps(fresh))
+    assert "rows" not in str(state)
+
+
+# ----------------------------------------------------------------------
+# freeze()/GraphView lifecycle
+# ----------------------------------------------------------------------
+def test_weights_coerce_to_float64():
+    g = Graph()
+    g.add_edge(1, 2, 2)  # int weight
+    h = g.freeze().thaw()
+    (nbr, w), = h.neighbor_items(1)
+    assert nbr == 2 and w == 2.0 and isinstance(w, float)
+
+
+def test_view_fresh_tracks_other_graphs():
+    g = small_graph()
+    view = g.freeze()
+    other = small_graph()
+    assert view.fresh(g)
+    assert not view.fresh(other)  # same version, different object
+
+
+# ----------------------------------------------------------------------
+# cache kernel tags (full + partial entries)
+# ----------------------------------------------------------------------
+def _flip_backend(cache, backend):
+    cache._search = SearchPolicy("dijkstra", graph_backend=backend)
+
+
+def test_full_sssp_not_served_across_backend_flip():
+    g = small_graph()
+    cache = ShortestPathCache(
+        g, search=SearchPolicy("dijkstra", graph_backend="dict")
+    )
+    cache.sssp("a")
+    assert cache.stats()["misses"] == 1
+    assert cache._store_kernel["a"] == "dijkstra"
+    cache.sssp("a")
+    assert cache.stats()["hits"] == 1  # same kernel: served
+    _flip_backend(cache, "flat")
+    dist, _ = cache.sssp("a")
+    # mismatched tag: entry dropped and recomputed by the flat kernel
+    assert cache.stats()["misses"] == 2
+    assert cache._store_kernel["a"] == "flat"
+    assert dist["c"] == 3.0
+
+
+def test_partial_entries_keyed_by_kernel():
+    g = small_graph()
+    cache = ShortestPathCache(
+        g, search=SearchPolicy("dijkstra", graph_backend="dict")
+    )
+    cache.path("a", "c")
+    misses = cache.stats()["misses"]
+    _flip_backend(cache, "flat")
+    path = cache.path("a", "c")
+    assert cache.stats()["misses"] == misses + 1  # not served across flip
+    assert path == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# worker materialization == session snapshot
+# ----------------------------------------------------------------------
+def _rrg_and_net():
+    rrg = RoutingResourceGraph(xc4000(2, 2, 3))
+    rrg.detach_all_pins()
+    pins = sorted(rrg._pin_edges)[:3]
+    return rrg, Net(pins[0], pins[1:], name="n0")
+
+
+def test_materialize_flat_matches_dict_snapshot():
+    from repro.engine.worker import NetTask, materialize_graph
+
+    rrg, net = _rrg_and_net()
+    snapshot = rrg.graph.copy()
+    rrg.attach_pins(net.terminals, graph=snapshot)
+    task = NetTask(
+        name="n0",
+        net=net,
+        algo="djka",
+        config=RouterConfig(),
+        flat=rrg.graph.freeze().flat,
+        pin_taps={pn: rrg.pin_taps(pn) for pn in net.terminals},
+    )
+    assert_same_adjacency(snapshot, materialize_graph(task))
+
+
+def test_materialize_requires_some_shipping():
+    from repro.engine.worker import NetTask, materialize_graph
+
+    _, net = _rrg_and_net()
+    task = NetTask(name="n0", net=net, algo="djka", config=RouterConfig())
+    with pytest.raises(GraphError):
+        materialize_graph(task)
+
+
+def test_pin_taps_rejects_non_pin():
+    rrg, _ = _rrg_and_net()
+    with pytest.raises(GraphError):
+        rrg.pin_taps(("J", 0, 0, "E", 0))
+
+
+# ----------------------------------------------------------------------
+# package surface
+# ----------------------------------------------------------------------
+def test_public_exports():
+    for name in ("GraphView", "FlatGraph", "SearchPolicy", "RouterConfig",
+                 "Diagnostic"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+    assert repro.GraphView is GraphView
+    assert repro.FlatGraph is FlatGraph
+
+
+def test_cli_graph_backend_flag():
+    from repro.cli import _build_parser, _config
+
+    parser = _build_parser()
+    args = parser.parse_args(["route", "busc", "--graph-backend", "flat"])
+    assert _config(args, "ikmb").graph_backend == "flat"
+    args = parser.parse_args(["route", "busc"])
+    assert _config(args, "ikmb").graph_backend == "auto"
+
+
+def test_cli_legacy_aliases_warn():
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        args = parser.parse_args(
+            ["route", "busc", "--max-passes", "4", "--trace-file", "t.json"]
+        )
+    assert args.passes == 4 and args.trace == "t.json"
+    messages = [
+        str(w.message) for w in caught
+        if issubclass(w.category, DeprecationWarning)
+    ]
+    assert any("--passes" in m for m in messages)
+    assert any("--trace" in m for m in messages)
