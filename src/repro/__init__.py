@@ -38,6 +38,7 @@ from .arborescence import (
     pfa,
 )
 from .errors import (
+    AdmissionError,
     ArchitectureError,
     CheckpointError,
     DisconnectedError,
@@ -45,9 +46,12 @@ from .errors import (
     EngineTimeoutError,
     FormatError,
     GraphError,
+    JobError,
+    JournalError,
     NetError,
     ReproError,
     RoutingError,
+    ServiceError,
     UnroutableError,
     ValidationError,
     VerificationError,
@@ -201,6 +205,10 @@ _LAZY_ATTRS = {
     "validate_circuit": ("repro.validate", "validate_circuit"),
     "validate_architecture": ("repro.validate", "validate_architecture"),
     "verify_result": ("repro.validate", "verify_result"),
+    # the durable routing job service (see docs/service.md)
+    "RoutingService": ("repro.service", "RoutingService"),
+    "JobStore": ("repro.service", "JobStore"),
+    "AdmissionPolicy": ("repro.service", "AdmissionPolicy"),
 }
 
 
@@ -233,6 +241,10 @@ __all__ = [
     "validate_circuit",
     "validate_architecture",
     "verify_result",
+    # job service
+    "RoutingService",
+    "JobStore",
+    "AdmissionPolicy",
     # errors
     "ReproError",
     "GraphError",
@@ -245,6 +257,10 @@ __all__ = [
     "WorkerCrashError",
     "EngineTimeoutError",
     "CheckpointError",
+    "ServiceError",
+    "JournalError",
+    "JobError",
+    "AdmissionError",
     "FormatError",
     "ValidationError",
     "VerificationError",

@@ -14,6 +14,9 @@ can be driven without writing Python:
 * ``report`` — run the fast drivers and emit a markdown report.
 * ``validate`` — lint circuit files / verify result files without
   routing anything; validation findings exit with code 4.
+* ``jobs``   — the durable routing job service: ``submit`` / ``status``
+  / ``result`` / ``cancel`` / ``serve`` against a crash-safe job store
+  (see ``docs/service.md``); admission refusals exit with code 5.
 
 ``route``, ``width`` and ``report`` share one engine option group —
 ``--engine/--seed/--passes/--trace`` — so the routing engine and its
@@ -36,6 +39,7 @@ from .analysis import run_table1
 from .analysis.tables import render_table
 from .engine import ENGINES
 from .errors import (
+    AdmissionError,
     EngineTimeoutError,
     ReproError,
     UnroutableError,
@@ -286,6 +290,99 @@ def _build_parser() -> argparse.ArgumentParser:
     p_val.add_argument(
         "--strict", action="store_true",
         help="treat warnings as errors (exit 4 on any finding)",
+    )
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="durable routing job service (submit/status/result/cancel/"
+             "serve)",
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _root_arg(p):
+        p.add_argument(
+            "--root", default=".repro-jobs", metavar="DIR",
+            help="job store directory (default: .repro-jobs)",
+        )
+
+    j_submit = jobs_sub.add_parser(
+        "submit", help="enqueue a routing job (prints its id)"
+    )
+    j_submit.add_argument(
+        "circuit",
+        help="a circuit JSON file, or a benchmark name to synthesize",
+    )
+    _root_arg(j_submit)
+    j_submit.add_argument("--algorithm", default="ikmb", choices=ALGORITHMS)
+    j_submit.add_argument(
+        "--family", choices=["xc3000", "xc4000"], default=None,
+        help="architecture family (default: the benchmark's, else xc3000)",
+    )
+    j_submit.add_argument(
+        "--width", type=int, default=None, metavar="W",
+        help="route at exactly this channel width (default: sweep for "
+             "the minimum)",
+    )
+    j_submit.add_argument(
+        "--w-max", type=int, default=40, metavar="W",
+        help="sweep upper bound when --width is not given",
+    )
+    j_submit.add_argument("--tenant", default="default")
+    j_submit.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="per-pass wall-clock budget (RouterConfig.pass_timeout_s)",
+    )
+    j_submit.add_argument(
+        "--passes", type=int, default=None, metavar="N",
+        help="move-to-front pass budget (RouterConfig.max_passes)",
+    )
+    j_submit.add_argument(
+        "--fraction", type=float, default=0.25,
+        help="scale for synthesized benchmarks (1.0 = published size)",
+    )
+    j_submit.add_argument(
+        "--seed", type=int, default=1,
+        help="synthesis seed for benchmark circuits",
+    )
+
+    j_status = jobs_sub.add_parser(
+        "status", help="show one job's record, or all jobs"
+    )
+    j_status.add_argument("job", nargs="?", default=None)
+    _root_arg(j_status)
+
+    j_result = jobs_sub.add_parser(
+        "result", help="print (and optionally save) a done job's result"
+    )
+    j_result.add_argument("job")
+    _root_arg(j_result)
+    j_result.add_argument(
+        "--save", metavar="PATH", help="write the result JSON to PATH"
+    )
+
+    j_cancel = jobs_sub.add_parser("cancel", help="cancel a job")
+    j_cancel.add_argument("job")
+    _root_arg(j_cancel)
+
+    j_serve = jobs_sub.add_parser(
+        "serve", help="run workers against the job store"
+    )
+    _root_arg(j_serve)
+    j_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent worker threads",
+    )
+    j_serve.add_argument(
+        "--engine", choices=ENGINES, default="serial",
+        help="routing engine each job runs on unless it requested one",
+    )
+    j_serve.add_argument(
+        "--exit-when-idle", action="store_true",
+        help="stop once the queue is drained (batch/CI mode)",
+    )
+    j_serve.add_argument(
+        "--stale-after-s", type=float, default=None, metavar="S",
+        help="heartbeat age before a running job is taken over",
     )
     return parser
 
@@ -578,6 +675,107 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _jobs_circuit(args):
+    """(circuit, family) from a JSON file path or a benchmark name."""
+    if os.path.exists(args.circuit):
+        from .io import load_circuit
+
+        return load_circuit(args.circuit), args.family or "xc3000"
+    spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
+    return (
+        synthesize_circuit(spec, seed=args.seed),
+        args.family or spec.family,
+    )
+
+
+def _print_job(record: dict) -> None:
+    fields = [
+        "state", "tenant", "attempts", "resumes", "channel_width",
+        "passes_used", "total_wirelength", "verified", "error",
+        "deduped_from",
+    ]
+    detail = ", ".join(
+        f"{k}={record[k]}" for k in fields if record.get(k) not in
+        (None, 0, False, [], "")
+    )
+    print(f"{record['job_id']}: {detail}")
+
+
+def _cmd_jobs(args) -> int:
+    from .service import RoutingService
+
+    service = RoutingService(args.root) if args.jobs_command not in (
+        "serve",
+    ) else None
+
+    if args.jobs_command == "submit":
+        circuit, family = _jobs_circuit(args)
+        extra = {}
+        if args.passes is not None:
+            extra["max_passes"] = args.passes
+        config = RouterConfig(algorithm=args.algorithm, **extra)
+        record = service.submit(
+            circuit,
+            config=config,
+            family=family,
+            width=args.width,
+            w_max=args.w_max,
+            tenant=args.tenant,
+            deadline_s=args.deadline_s,
+        )
+        _print_job(record.to_dict())
+        return 0
+
+    if args.jobs_command == "status":
+        if args.job is None:
+            records = service.jobs()
+            if not records:
+                print("no jobs")
+            for record in records:
+                _print_job(record)
+        else:
+            _print_job(service.status(args.job))
+        return 0
+
+    if args.jobs_command == "result":
+        result = service.result(args.job)
+        print(
+            f"{args.job}: complete routing at W={result.channel_width} "
+            f"(passes={result.passes_used}, "
+            f"wirelength={result.total_wirelength:.1f})"
+        )
+        if args.save:
+            from .io import save_result
+
+            save_result(result, args.save)
+            print(f"result written to {args.save}")
+        return 0
+
+    if args.jobs_command == "cancel":
+        _print_job(service.cancel(args.job).to_dict())
+        return 0
+
+    # serve: fault points must *hard-kill* this process (the crash
+    # harness SIGKILL-equivalent), not raise a catchable exception
+    from .engine.faults import HARD_EXIT_ENV
+    from .service import DEFAULT_STALE_AFTER_S
+
+    os.environ[HARD_EXIT_ENV] = "1"
+    service = RoutingService(
+        args.root,
+        engine=args.engine,
+        stale_after_s=args.stale_after_s or DEFAULT_STALE_AFTER_S,
+    )
+    recovered = {k: v for k, v in service.recovered.items() if v}
+    if recovered:
+        print(f"recovery: {recovered}")
+    processed = service.serve(
+        workers=args.workers, exit_when_idle=args.exit_when_idle
+    )
+    print(f"served {processed} job(s)")
+    return 0
+
+
 _COMMANDS = {
     "route": _cmd_route,
     "width": _cmd_width,
@@ -586,6 +784,7 @@ _COMMANDS = {
     "circuits": _cmd_circuits,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -621,6 +820,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if report is not None and len(report.diagnostics) > 1:
             print(report.render(), file=sys.stderr)
         return 4
+    except AdmissionError as exc:
+        # exit 5: the service refused to enqueue (backpressure) — the
+        # request itself is fine, retry later
+        print(f"error: {exc} [{exc.code}]", file=sys.stderr)
+        return 5
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -41,6 +41,7 @@ from .checkpoint import (
     CHECKPOINT_SCHEMA,
     load_checkpoint,
     save_checkpoint,
+    sweep_stale_tmp,
 )
 from .executors import (
     DEGRADATION_LADDER,
@@ -48,7 +49,7 @@ from .executors import (
     ExecutorSupervisor,
     create_executor,
 )
-from .faults import FaultInjected, FaultPlan
+from .faults import FaultInjected, FaultPlan, SimulatedCrash, service_crash
 from .instrumentation import (
     ACCEPTED_TRACE_SCHEMAS,
     TRACE_SCHEMA,
@@ -77,8 +78,11 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "save_checkpoint",
     "load_checkpoint",
+    "sweep_stale_tmp",
     "FaultPlan",
     "FaultInjected",
+    "SimulatedCrash",
+    "service_crash",
     "RetryPolicy",
     "map_with_recovery",
 ]

@@ -84,6 +84,34 @@ def arch_fingerprint(arch) -> Dict[str, Any]:
     }
 
 
+def sweep_stale_tmp(path: str) -> int:
+    """Remove orphaned ``<path>.tmp.<pid>`` files; return how many.
+
+    The atomic-write protocol stages a checkpoint as ``path.tmp.<pid>``
+    and ``os.replace``\\ s it into place — a crash between the two
+    leaves the staging file behind forever.  Checkpoints are
+    single-writer (one session, one file), so any ``.tmp.*`` sibling
+    found at save or load time is by definition a dead writer's orphan
+    and safe to delete.  Sweep failures are ignored: a leftover orphan
+    costs disk, not correctness.
+    """
+    directory = os.path.dirname(path) or "."
+    prefix = os.path.basename(path) + ".tmp."
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    swept = 0
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                os.unlink(os.path.join(directory, name))
+                swept += 1
+            except OSError:  # pragma: no cover - raced/unlinkable
+                pass
+    return swept
+
+
 def save_checkpoint(
     path: str, state: Dict[str, Any], faults=None
 ) -> None:
@@ -94,6 +122,7 @@ def save_checkpoint(
     deliberately garbled — the fault-injection harness uses this to
     prove that :func:`load_checkpoint` refuses damaged files.
     """
+    sweep_stale_tmp(path)
     checksum = _checksum(state)
     if faults is not None and faults.should_corrupt_checkpoint():
         checksum = "0" * len(checksum)
@@ -130,6 +159,7 @@ def load_checkpoint(
     problem — unreadable file, wrong schema, checksum mismatch,
     truncated JSON — raises :class:`CheckpointError`.
     """
+    sweep_stale_tmp(path)
     if not os.path.exists(path):
         if missing_ok:
             return None

@@ -37,6 +37,11 @@ from typing import Optional
 #: environment variable consulted by :meth:`FaultPlan.from_env`
 FAULTS_ENV = "REPRO_FAULTS"
 
+#: when set (the ``repro jobs serve`` process sets it for itself), a
+#: service fault point dies with ``os._exit`` — a true no-cleanup kill —
+#: instead of raising :class:`SimulatedCrash`
+HARD_EXIT_ENV = "REPRO_FAULT_EXIT"
+
 #: exit status used when a fault kills a worker process
 KILL_STATUS = 70  # EX_SOFTWARE
 
@@ -48,6 +53,32 @@ class FaultInjected(RuntimeError):
     layer must treat it exactly like an unexpected third-party crash,
     not like a semantic routing outcome.
     """
+
+
+class SimulatedCrash(BaseException):
+    """In-process stand-in for a process kill at a service fault point.
+
+    Derives from :class:`BaseException` on purpose: every ordinary
+    recovery path catches ``Exception``, and a *crash* must not be
+    recoverable from inside the dying process — it has to unwind all
+    the way out so the test harness can "restart" the service against
+    the on-disk state exactly as a fresh process would find it.  In a
+    dedicated service process (``repro jobs serve``) the same fault
+    point calls ``os._exit`` instead, which is the real thing.
+    """
+
+
+def service_crash(point: str) -> None:
+    """Die at a named service fault point (never returns).
+
+    ``repro jobs serve`` exports :data:`HARD_EXIT_ENV` so its fault
+    points kill the process outright, exactly like ``kill -9`` —
+    buffered file data that was never fsynced is lost.  Everywhere else
+    (in-process tests) the crash is :class:`SimulatedCrash`.
+    """
+    if os.environ.get(HARD_EXIT_ENV):
+        os._exit(KILL_STATUS)
+    raise SimulatedCrash(point)
 
 
 @dataclass(frozen=True)
@@ -77,6 +108,21 @@ class FaultPlan:
     delay_times: int = 1
     #: garble the next checkpoint written by the session (bad checksum)
     corrupt_checkpoint: bool = False
+    #: kill the worker while it materializes a *flat-shipped* (CSR)
+    #: graph snapshot — the thaw-and-replay path of
+    #: :func:`repro.engine.worker.materialize_graph`; same eligibility
+    #: rule as ``kill_on_task`` but fires only for tasks that carry
+    #: flat arrays, so it proves the CSR shipping path recovers too
+    kill_on_materialize: Optional[int] = None
+    materialize_times: int = 1
+    #: named service fault point (see :mod:`repro.service.journal` /
+    #: :mod:`repro.service.store`) at which to die via
+    #: :func:`service_crash` — e.g. ``"journal.append.torn"``
+    kill_at: Optional[str] = None
+    kill_at_times: int = 1
+    #: garble the next job state snapshot written by the job store
+    #: (bad checksum), proving recovery falls back to the journal
+    corrupt_job_state: bool = False
     #: marker directory bounding how often each fault fires
     state_dir: Optional[str] = None
 
@@ -110,6 +156,14 @@ class FaultPlan:
             "delay_times": ("delay_times", int),
             "corrupt_checkpoint": (
                 "corrupt_checkpoint",
+                lambda v: v not in ("0", "false", ""),
+            ),
+            "kill_materialize": ("kill_on_materialize", int),
+            "materialize_times": ("materialize_times", int),
+            "kill_at": ("kill_at", str),
+            "kill_at_times": ("kill_at_times", int),
+            "corrupt_job_state": (
+                "corrupt_job_state",
                 lambda v: v not in ("0", "false", ""),
             ),
             "dir": ("state_dir", str),
@@ -176,18 +230,51 @@ class FaultPlan:
             and task_index >= self.kill_on_task
             and self._claim("kill", self.kill_times)
         ):
-            if multiprocessing.parent_process() is not None:
-                # real process-pool worker: die without cleanup, exactly
-                # like an OOM kill or a segfault would
-                os._exit(KILL_STATUS)
-            # serial/thread execution shares the session's process —
-            # exiting would kill the run we are trying to test, so the
-            # closest in-process approximation is an abrupt exception
-            raise FaultInjected(
-                f"injected worker kill downgraded to an exception "
-                f"(task index {task_index} ran in-process)"
-            )
+            self._kill_worker(task_index)
+
+    def inject_materialize(self, task_index: int) -> None:
+        """Fire the flat-materialization kill, if due (worker side).
+
+        Called from :func:`repro.engine.worker.materialize_graph` only
+        on the flat-shipping path — the moment the worker starts
+        thawing the shared CSR snapshot — so recovery is exercised
+        while the task's graph exists only as shipped arrays.
+        """
+        if (
+            self.kill_on_materialize is not None
+            and task_index >= self.kill_on_materialize
+            and self._claim("kill-mat", self.materialize_times)
+        ):
+            self._kill_worker(task_index)
+
+    def _kill_worker(self, task_index: int) -> None:
+        if multiprocessing.parent_process() is not None:
+            # real process-pool worker: die without cleanup, exactly
+            # like an OOM kill or a segfault would
+            os._exit(KILL_STATUS)
+        # serial/thread execution shares the session's process —
+        # exiting would kill the run we are trying to test, so the
+        # closest in-process approximation is an abrupt exception
+        raise FaultInjected(
+            f"injected worker kill downgraded to an exception "
+            f"(task index {task_index} ran in-process)"
+        )
 
     def should_corrupt_checkpoint(self) -> bool:
         """Claim the one-shot checkpoint-corruption fault (writer side)."""
         return self.corrupt_checkpoint and self._claim("corrupt", 1)
+
+    def should_crash_at(self, point: str) -> bool:
+        """Claim a firing slot for the named service fault point.
+
+        The caller decides *how* to die (usually straight through
+        :func:`service_crash`; the journal's torn-write point first
+        writes half a record to model a mid-append power loss).
+        """
+        return self.kill_at == point and self._claim(
+            f"at-{point}", self.kill_at_times
+        )
+
+    def should_corrupt_job_state(self) -> bool:
+        """Claim the one-shot job-state-corruption fault (writer side)."""
+        return self.corrupt_job_state and self._claim("corrupt-state", 1)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import IO, Dict, List, Optional, Union
+from typing import IO, Callable, Dict, List, Optional, Union
 
 from ..fpga.routing_graph import RoutingResourceGraph
 
@@ -142,13 +142,31 @@ class TraceRecorder:
     #: engine actually in use at the end of the run (differs from
     #: ``engine`` only after a degradation)
     engine_final: Optional[str] = None
+    #: optional live sink: called with each event dict (and each pass,
+    #: wrapped as a ``{"type": "pass", ...}`` event) as it is recorded,
+    #: so long-running consumers (the job service's per-job logs) can
+    #: stream progress instead of waiting for the final document.
+    #: Listener failures are swallowed — observability must never be
+    #: able to fail a routing run.
+    listener: Optional[Callable[[Dict], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _emit(self, event: Dict) -> None:
+        if self.listener is not None:
+            try:
+                self.listener(event)
+            except Exception:  # pragma: no cover - listener bug
+                pass
 
     def record_pass(self, record: PassRecord) -> None:
         self.passes.append(record)
+        self._emit({"type": "pass", **record.to_dict()})
 
     def record_event(self, event: Dict) -> None:
         """Append one resilience event (retry/degradation/checkpoint)."""
         self.events.append(dict(event))
+        self._emit(dict(event))
 
     def finish(
         self,

@@ -128,6 +128,7 @@ class RoutingSession:
         batch_margin: int = DEFAULT_BATCH_MARGIN,
         retry_policy: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        on_trace_event=None,
     ):
         if engine not in ENGINES:
             raise RoutingError(
@@ -140,6 +141,9 @@ class RoutingSession:
         self.batch_margin = batch_margin
         self.retry_policy = retry_policy or RetryPolicy()
         self.faults = faults if faults is not None else FaultPlan.from_env()
+        #: live sink for trace events/passes as they are recorded (the
+        #: job service streams these into per-job logs); None disables
+        self.on_trace_event = on_trace_event
         self._router = FPGARouter(arch, self.config)
         self._supervisor: Optional[ExecutorSupervisor] = None
         self._recorder: Optional[TraceRecorder] = None
@@ -220,6 +224,7 @@ class RoutingSession:
                 "verify": cfg.verify,
             },
         )
+        recorder.listener = self.on_trace_event
         recorder.channel_width = self.arch.channel_width
         self.trace = recorder
         self._recorder = recorder

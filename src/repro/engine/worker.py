@@ -112,6 +112,10 @@ def materialize_graph(task: NetTask) -> Graph:
             f"task {task.name!r} carries neither a graph snapshot "
             f"nor flat arrays"
         )
+    if task.faults is not None:
+        # flat-shipping fault point: die while the task's graph exists
+        # only as shipped CSR arrays, before any thaw-side state
+        task.faults.inject_materialize(task.index)
     g = task.flat.thaw()
     taps = task.pin_taps
     for pn in task.net.terminals:

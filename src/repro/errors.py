@@ -155,6 +155,50 @@ class CheckpointError(EngineError):
     """A session checkpoint could not be written, read or validated."""
 
 
+class ServiceError(ReproError):
+    """A failure in the routing job service (:mod:`repro.service`).
+
+    Distinct from :class:`EngineError`: the routing engine may be
+    healthy, but the job layer around it — journal, job store,
+    supervisor — could not do its work.
+    """
+
+
+class JournalError(ServiceError):
+    """The service's write-ahead journal is unreadable or corrupt.
+
+    A torn *final* record (the signature of a crash mid-append) is not
+    an error — recovery truncates it; this is raised only for damage
+    that cannot be attributed to a crash tail: a garbled record in the
+    middle of the file, a wrong schema, or a non-monotonic sequence.
+    """
+
+
+class JobError(ServiceError):
+    """A job operation was invalid (unknown id, wrong state).
+
+    ``job_id`` names the offending job when known.
+    """
+
+    def __init__(self, message: str, *, job_id=None):
+        self.job_id = job_id
+        super().__init__(message)
+
+
+class AdmissionError(ServiceError):
+    """The service refused to enqueue a job (backpressure).
+
+    ``code`` is a stable machine-readable reason: ``QUEUE_FULL`` (the
+    global queue-depth limit) or ``TENANT_LIMIT`` (the per-tenant
+    concurrent-job cap).  Invalid *inputs* are a different refusal and
+    keep their :class:`ValidationError` type.
+    """
+
+    def __init__(self, message: str, *, code: str = "QUEUE_FULL"):
+        self.code = code
+        super().__init__(message)
+
+
 class UnroutableError(RoutingError):
     """The circuit is unroutable at the requested channel width.
 

@@ -61,6 +61,7 @@ def minimum_channel_width(
     trace=None,
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
+    on_trace_event=None,
 ) -> Tuple[int, RoutingResult]:
     """Find the smallest W at which ``circuit`` routes completely.
 
@@ -100,6 +101,10 @@ def minimum_channel_width(
         the sweep at the checkpointed width — resuming mid-attempt if
         that width was still in progress, or at the next width if the
         checkpoint already recorded it as unroutable.
+    on_trace_event:
+        Live trace-event sink handed to each width attempt's session
+        (see :class:`~repro.engine.RoutingSession`); the job service
+        streams these into per-job logs.
 
     Returns
     -------
@@ -142,7 +147,8 @@ def minimum_channel_width(
 
             arch = replace(arch, pins_per_block=pins_per_block)
         session = RoutingSession(
-            arch, config, engine=engine, max_workers=max_workers
+            arch, config, engine=engine, max_workers=max_workers,
+            on_trace_event=on_trace_event,
         )
         try:
             result = session.route(

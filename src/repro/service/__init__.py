@@ -1,0 +1,73 @@
+"""Crash-safe asynchronous routing jobs (:mod:`repro.service`).
+
+The service turns the library's synchronous routing entry points into
+durable *jobs*: submitted requests survive process crashes at any
+instant, interrupted work resumes bit-identically from its last engine
+checkpoint, identical requests are served from a verified result cache,
+and every terminal result has passed the independent checker.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.service.journal` — the append-only write-ahead journal
+  (``repro.service/journal-v1``), fsync-per-event, torn-tail recovery;
+* :mod:`repro.service.store` — :class:`JobStore`: journal-backed job
+  records, per-job directories, checksummed snapshots, the dedupe
+  index, and the startup reconciliation scan;
+* :mod:`repro.service.admission` — :class:`AdmissionPolicy`:
+  queue-depth and per-tenant backpressure plus fast-fail validation;
+* :mod:`repro.service.supervisor` — :class:`JobSupervisor`: claim /
+  route / verify / finish, seeded-backoff retry, heartbeats and
+  stale-job takeover, graceful drain;
+* :mod:`repro.service.api` — :class:`RoutingService`: the facade the
+  CLI (``repro jobs``) and tests drive.
+
+See ``docs/service.md`` for the state machine, the journal format and
+the recovery semantics, and ``tests/test_service.py`` for the
+kill-anywhere crash matrix that exercises every fault point.
+"""
+
+from .admission import (
+    DEFAULT_MAX_JOBS_PER_TENANT,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    AdmissionPolicy,
+)
+from .api import (
+    REQUEST_FORMAT,
+    REQUEST_VERSION,
+    RoutingService,
+    config_to_dict,
+    request_fingerprint,
+)
+from .journal import JOURNAL_SCHEMA, Journal, read_journal
+from .store import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    STATE_SCHEMA,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+)
+from .supervisor import DEFAULT_STALE_AFTER_S, JobSupervisor, config_from_dict
+
+__all__ = [
+    "RoutingService",
+    "JobSupervisor",
+    "JobStore",
+    "JobRecord",
+    "Journal",
+    "read_journal",
+    "AdmissionPolicy",
+    "request_fingerprint",
+    "config_to_dict",
+    "config_from_dict",
+    "JOURNAL_SCHEMA",
+    "STATE_SCHEMA",
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "REQUEST_FORMAT",
+    "REQUEST_VERSION",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_MAX_JOBS_PER_TENANT",
+    "DEFAULT_STALE_AFTER_S",
+]

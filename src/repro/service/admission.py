@@ -1,0 +1,84 @@
+"""Admission control: refuse work the service cannot honour.
+
+Backpressure happens at submit time, before anything is journaled:
+
+* a global queue-depth limit bounds the total number of *active*
+  (queued or running) jobs — the durable queue is not allowed to grow
+  without bound just because the workers are slower than the clients;
+* a per-tenant cap keeps one noisy tenant from occupying every worker;
+* fast-fail validation (:func:`repro.validate.validate_circuit`) runs
+  the input lint on the submitted circuit so a malformed request is
+  rejected in milliseconds with structured diagnostics instead of
+  failing a worker minutes later.
+
+Refusals are :class:`~repro.errors.AdmissionError` with a stable
+``code`` (``QUEUE_FULL`` / ``TENANT_LIMIT``); invalid inputs keep their
+:class:`~repro.errors.ValidationError` type — "come back later" and
+"this request is broken" deserve different exceptions (and different
+CLI exit codes: 5 vs. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AdmissionError
+from ..validate import validate_circuit
+
+#: default global active-job bound
+DEFAULT_MAX_QUEUE_DEPTH = 64
+
+#: default per-tenant active-job bound
+DEFAULT_MAX_JOBS_PER_TENANT = 8
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure knobs for one service instance.
+
+    ``max_queue_depth`` bounds active jobs (queued + running) across
+    all tenants; ``max_jobs_per_tenant`` bounds one tenant's share;
+    ``validate`` runs the circuit lint at submit (device-aware when
+    the request fixes a channel width).
+    """
+
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    max_jobs_per_tenant: int = DEFAULT_MAX_JOBS_PER_TENANT
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise AdmissionError(
+                "max_queue_depth must be >= 1", code="BAD_POLICY"
+            )
+        if self.max_jobs_per_tenant < 1:
+            raise AdmissionError(
+                "max_jobs_per_tenant must be >= 1", code="BAD_POLICY"
+            )
+
+    def admit(self, store, circuit, arch, tenant: str) -> None:
+        """Raise unless this request may enter the queue.
+
+        :class:`~repro.errors.AdmissionError` for backpressure,
+        :class:`~repro.errors.ValidationError` for a circuit the lint
+        rejects.  ``arch`` may be ``None`` (width-sweep jobs validate
+        structure only; each width attempt re-validates device-aware
+        inside the session).
+        """
+        depth = store.active_count()
+        if depth >= self.max_queue_depth:
+            raise AdmissionError(
+                f"queue depth {depth} is at the limit "
+                f"({self.max_queue_depth}); retry later",
+                code="QUEUE_FULL",
+            )
+        mine = store.active_count(tenant)
+        if mine >= self.max_jobs_per_tenant:
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {mine} active job(s) "
+                f"(limit {self.max_jobs_per_tenant})",
+                code="TENANT_LIMIT",
+            )
+        if self.validate:
+            validate_circuit(circuit, arch).raise_if_errors()

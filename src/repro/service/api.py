@@ -1,0 +1,339 @@
+"""The routing job service facade.
+
+:class:`RoutingService` composes the durable pieces into the API the
+CLI (``repro jobs``) and the tests drive:
+
+* :meth:`submit` — admission control, then dedupe lookup, then a
+  durable enqueue; returns the :class:`~repro.service.store.JobRecord`;
+* :meth:`status` / :meth:`result` / :meth:`cancel` — job inspection
+  and cooperative cancellation;
+* :meth:`run_until_idle` — the synchronous worker loop;
+* :meth:`serve` — the daemon: worker threads, periodic stale-job
+  takeover, graceful SIGTERM drain.
+
+Opening a service *is* crash recovery: the store replays the journal,
+truncates any torn tail, adopts orphaned job directories, and re-queues
+every job a previous incarnation was interrupted in — the recovery
+summary is kept on :attr:`RoutingService.recovered`.
+
+Idempotent dedupe
+-----------------
+A request's identity is the sha256 of its canonical JSON: the placed
+circuit (:func:`repro.io.circuit_to_dict`), the schedule-relevant
+config fields (:func:`repro.engine.checkpoint.config_fingerprint` — the
+same identity checkpoints bind to), the architecture family, and the
+requested width (or sweep bound).  The execution engine, search kernel
+and graph backend are deliberately *excluded*: they are documented
+bit-identical, so they cannot change the result.  Submitting a
+fingerprint whose verified result already exists returns a new job that
+is immediately ``done`` with ``deduped_from`` pointing at the job that
+actually routed — no routing work is repeated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..engine.checkpoint import config_fingerprint
+from ..engine.faults import FaultPlan
+from ..engine.retry import RetryPolicy
+from ..errors import JobError, ReproError
+from ..fpga.netlist import PlacedCircuit
+from ..io import circuit_to_dict, load_result
+from ..router.config import RouterConfig
+from ..router.result import RoutingResult
+from .admission import AdmissionPolicy
+from .store import JobRecord, JobStore, TERMINAL_STATES
+from .supervisor import _FAMILIES, DEFAULT_STALE_AFTER_S, JobSupervisor
+
+#: request document format marker
+REQUEST_FORMAT = "repro-job"
+REQUEST_VERSION = 1
+
+
+def config_to_dict(config: RouterConfig) -> Dict[str, Any]:
+    """JSON-safe serialization of every :class:`RouterConfig` field."""
+    from dataclasses import fields
+
+    doc: Dict[str, Any] = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        doc[f.name] = value
+    return doc
+
+
+def request_fingerprint(
+    circuit: PlacedCircuit,
+    config: RouterConfig,
+    *,
+    family: str,
+    width: Optional[int],
+    w_max: int,
+) -> str:
+    """The dedupe identity of one routing request.
+
+    Built from exactly the inputs that determine the routed *result*:
+    the circuit, the schedule-relevant config fields, the architecture
+    family and the width question being asked.  Engine/search/backend
+    selections are excluded — they are bit-identical by contract, so
+    two requests differing only there deserve the same cached answer.
+    """
+    doc = {
+        "circuit": circuit_to_dict(circuit),
+        "config": config_fingerprint(config),
+        "family": family,
+        "width": width,
+        "w_max": w_max if width is None else None,
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RoutingService:
+    """One durable routing-job service rooted at a directory.
+
+    Thread-safe: every store mutation happens under one lock shared
+    with the supervisor.  Opening the service performs crash recovery;
+    the journal makes that safe to do any number of times.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        policy: Optional[AdmissionPolicy] = None,
+        engine: str = "serial",
+        retry_policy: Optional[RetryPolicy] = None,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        faults: Optional[FaultPlan] = None,
+    ):
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.lock = threading.RLock()
+        self.store = JobStore(root, faults=self.faults)
+        self.policy = policy or AdmissionPolicy()
+        #: what recovery did when this instance opened the store
+        self.recovered = self.store.reconcile()
+        self.supervisor = JobSupervisor(
+            self.store,
+            lock=self.lock,
+            engine=engine,
+            retry_policy=retry_policy,
+            stale_after_s=stale_after_s,
+            faults=self.faults,
+        )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        circuit: PlacedCircuit,
+        *,
+        config: Optional[RouterConfig] = None,
+        family: str = "xc3000",
+        width: Optional[int] = None,
+        w_max: int = 40,
+        engine: Optional[str] = None,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+        net_deadline_s: Optional[float] = None,
+    ) -> JobRecord:
+        """Admit, dedupe and durably enqueue one routing request.
+
+        ``width=None`` asks for the minimum-channel-width sweep up to
+        ``w_max``; a fixed ``width`` routes at exactly that width.
+        ``deadline_s`` / ``net_deadline_s`` become the job's
+        ``pass_timeout_s`` / ``route_timeout_s`` budgets unless the
+        config already sets them.  Raises
+        :class:`~repro.errors.AdmissionError` on backpressure and
+        :class:`~repro.errors.ValidationError` on a circuit the lint
+        rejects.
+        """
+        if family not in _FAMILIES:
+            raise JobError(
+                f"unknown architecture family {family!r}; "
+                f"expected one of {sorted(_FAMILIES)}"
+            )
+        config = config or RouterConfig()
+        arch = None
+        if width is not None:
+            arch = _FAMILIES[family](circuit.rows, circuit.cols, width)
+        with self.lock:
+            self.policy.admit(self.store, circuit, arch, tenant)
+            fingerprint = request_fingerprint(
+                circuit, config, family=family, width=width, w_max=w_max
+            )
+            request = {
+                "format": REQUEST_FORMAT,
+                "version": REQUEST_VERSION,
+                "tenant": tenant,
+                "fingerprint": fingerprint,
+                "family": family,
+                "width": width,
+                "w_max": w_max,
+                "engine": engine,
+                "deadline_s": deadline_s,
+                "net_deadline_s": net_deadline_s,
+                "config": config_to_dict(config),
+                "circuit": circuit_to_dict(circuit),
+            }
+            record = self.store.create_job(
+                request, fingerprint=fingerprint, tenant=tenant
+            )
+            source = self.store.lookup_result(fingerprint)
+            if source is not None:
+                # an identical request already routed and verified:
+                # adopt its result right now, skipping the queue
+                donor = self.store.get(source)
+                self.store.write_result(
+                    record.job_id,
+                    self._load_result_doc(source),
+                )
+                record = self.store.finish_done(
+                    record.job_id,
+                    channel_width=donor.channel_width,
+                    passes_used=donor.passes_used,
+                    total_wirelength=donor.total_wirelength,
+                    verified=donor.verified,
+                    deduped_from=source,
+                )
+            return record
+
+    def _load_result_doc(self, job_id: str) -> Dict[str, Any]:
+        with open(
+            self.store.result_path(job_id), "r", encoding="utf-8"
+        ) as fh:
+            return json.load(fh)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """One job's journal-derived record as a plain dict."""
+        with self.lock:
+            return self.store.get(job_id).to_dict()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """All job records, in submission order."""
+        with self.lock:
+            return [r.to_dict() for r in self.store.records()]
+
+    def result(self, job_id: str) -> RoutingResult:
+        """The verified routing result of a ``done`` job."""
+        with self.lock:
+            record = self.store.get(job_id)
+        if record.state != "done":
+            raise JobError(
+                f"job {job_id} is {record.state!r}, not done"
+                + (f" ({record.error})" if record.error else ""),
+                job_id=job_id,
+            )
+        return load_result(self.store.result_path(job_id))
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: immediate while queued, cooperative after.
+
+        A queued job goes straight to ``cancelled``; a running job gets
+        ``cancel_requested`` journaled — if it finishes first the
+        completion wins, otherwise the next claim (or crash recovery)
+        honours the cancellation.  Cancelling a terminal job is an
+        error.
+        """
+        with self.lock:
+            record = self.store.get(job_id)
+            if record.state in TERMINAL_STATES:
+                raise JobError(
+                    f"job {job_id} is already {record.state}",
+                    job_id=job_id,
+                )
+            if record.state == "queued":
+                self.store.commit(
+                    {"type": "cancel_requested", "job": job_id}
+                )
+                return self.store.transition(job_id, "cancelled")
+            return self.store.commit(
+                {"type": "cancel_requested", "job": job_id}
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_until_idle(self, *, max_jobs: Optional[int] = None) -> int:
+        """Synchronously process queued jobs; returns how many ran."""
+        return self.supervisor.run_until_idle(max_jobs=max_jobs)
+
+    def serve(
+        self,
+        *,
+        workers: int = 1,
+        poll_s: float = 0.1,
+        exit_when_idle: bool = False,
+        install_signal_handlers: bool = True,
+    ) -> int:
+        """Run the worker pool until drained (SIGTERM) or idle.
+
+        ``exit_when_idle`` stops once the queue is empty and every
+        worker is between jobs (the CI smoke mode); otherwise the pool
+        runs until :meth:`~JobSupervisor.request_drain` — which SIGTERM
+        and SIGINT trigger when ``install_signal_handlers`` is set —
+        lets in-flight jobs finish.  Returns jobs processed.
+        """
+        supervisor = self.supervisor
+        processed = [0]
+        busy = [0]
+        counter_lock = threading.Lock()
+
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(
+                    sig, lambda *_: supervisor.request_drain()
+                )
+
+        def loop(name: str) -> None:
+            while not supervisor.draining:
+                record = supervisor.claim_next(name)
+                if record is None:
+                    if exit_when_idle:
+                        return
+                    time.sleep(poll_s)
+                    continue
+                with counter_lock:
+                    busy[0] += 1
+                try:
+                    supervisor.run_job(record, name)
+                finally:
+                    with counter_lock:
+                        busy[0] -= 1
+                        processed[0] += 1
+
+        threads = [
+            threading.Thread(
+                target=loop, args=(f"worker-{i}",), daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for t in threads:
+            t.start()
+        try:
+            next_takeover = time.monotonic() + self.supervisor.stale_after_s
+            while any(t.is_alive() for t in threads):
+                for t in threads:
+                    t.join(timeout=poll_s)
+                if time.monotonic() >= next_takeover:
+                    supervisor.reclaim_stale()
+                    next_takeover = (
+                        time.monotonic() + self.supervisor.stale_after_s
+                    )
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            supervisor.request_drain()
+            for t in threads:
+                t.join()
+        return processed[0]

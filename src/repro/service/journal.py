@@ -1,0 +1,210 @@
+"""Append-only write-ahead journal for the routing job service.
+
+The journal is the job store's single source of truth: every state
+transition is appended (and fsynced) *before* any in-memory or
+snapshot-file update, so a crash at any instant loses at most the one
+event whose append was in flight — and recovery can always rebuild the
+exact committed history by replaying the file.
+
+Format (``repro.service/journal-v1``): one JSON document per line::
+
+    {"schema": "repro.service/journal-v1",
+     "seq": <monotonically increasing int, starting at 1>,
+     "checksum": "<sha256 of the canonical event payload>",
+     "event": {"type": ..., "job": ..., ...}}
+
+Crash semantics:
+
+* a crash *before* the append loses the event — the caller's intended
+  transition simply never happened, and the job stays in its previous
+  journaled state (recovery re-queues it);
+* a crash *mid-append* (power loss between the write and the fsync)
+  leaves a torn final line — :func:`read_journal` detects it (parse or
+  checksum failure **on the last record only**) and :class:`Journal`
+  truncates it on open, restoring the file to its last durable prefix;
+* a crash *after* the fsync preserves the event even though the caller
+  never saw the append return — replay is idempotent, so applying the
+  event again on recovery converges to the same state.
+
+Damage that cannot be a crash tail — a garbled record in the middle of
+the file, a wrong schema, a non-monotonic sequence number — raises
+:class:`~repro.errors.JournalError`: that file was edited or corrupted
+at rest, and refusing it loudly beats silently dropping history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import JournalError
+
+#: current journal record schema identifier
+JOURNAL_SCHEMA = "repro.service/journal-v1"
+
+
+def _canonical(event: Dict[str, Any]) -> str:
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(event: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(event).encode("utf-8")).hexdigest()
+
+
+def _parse_record(line: str, seq_expected: int, where: str) -> Dict[str, Any]:
+    """One journal line -> its event payload; raises on any damage."""
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise JournalError(f"{where}: unparseable record ({exc})") from None
+    if not isinstance(record, dict):
+        raise JournalError(f"{where}: record is not an object")
+    if record.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"{where}: record schema {record.get('schema')!r}, "
+            f"expected {JOURNAL_SCHEMA!r}"
+        )
+    event = record.get("event")
+    if not isinstance(event, dict):
+        raise JournalError(f"{where}: record has no event payload")
+    if record.get("checksum") != _checksum(event):
+        raise JournalError(f"{where}: record failed its checksum")
+    if record.get("seq") != seq_expected:
+        raise JournalError(
+            f"{where}: sequence number {record.get('seq')!r} breaks the "
+            f"monotonic chain (expected {seq_expected})"
+        )
+    return event
+
+
+def read_journal(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Replay a journal file: ``(events, durable_byte_length)``.
+
+    ``durable_byte_length`` is the offset of the last intact record's
+    end — shorter than the file when a torn tail was detected and
+    dropped.  A missing file is an empty journal.  Mid-file damage
+    raises :class:`~repro.errors.JournalError`.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
+    events: List[Dict[str, Any]] = []
+    offset = 0
+    lines = raw.split(b"\n")
+    # split() leaves a final element for the bytes after the last
+    # newline: empty for a cleanly terminated file, a torn fragment
+    # otherwise.  An unterminated final chunk is *always* the crash
+    # tail — even if it happens to parse, its append never returned to
+    # the caller, so dropping it is the lost-event semantics the
+    # write-ahead protocol already assigns to a pre-fsync crash.
+    # Every newline-terminated line must parse unless it is the final
+    # one (then it too is a torn/damaged tail and gets truncated).
+    complete = lines[:-1]
+    for i, chunk in enumerate(complete):
+        where = f"{path}:{i + 1}"
+        try:
+            text = chunk.decode("utf-8")
+            event = _parse_record(text, len(events) + 1, where)
+        except (UnicodeDecodeError, JournalError) as exc:
+            if i == len(complete) - 1:
+                # torn/damaged tail: the signature of a crash mid-append
+                break
+            if isinstance(exc, JournalError):
+                raise
+            raise JournalError(f"{where}: undecodable record") from None
+        events.append(event)
+        offset += len(chunk) + 1
+    return events, offset
+
+
+class Journal:
+    """The job store's append-only event log (single writer).
+
+    Opening replays the existing file, truncates any torn tail back to
+    the last durable record, and remembers the next sequence number.
+    :meth:`append` is write + flush + fsync per event — the service's
+    event rate (a handful per job) makes durability cheap.
+    """
+
+    def __init__(self, path: str, *, faults=None):
+        self.path = path
+        self.faults = faults
+        events, durable = read_journal(path)
+        if os.path.exists(path) and durable < os.path.getsize(path):
+            # drop the torn tail so the next append starts a clean line
+            with open(path, "r+b") as fh:
+                fh.truncate(durable)
+        self._seq = len(events)
+        self._replayed = events
+
+    @property
+    def replayed(self) -> List[Dict[str, Any]]:
+        """Events recovered when the journal was opened."""
+        return list(self._replayed)
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq + 1
+
+    def append(self, event: Dict[str, Any]) -> int:
+        """Durably append one event; returns its sequence number.
+
+        Fault points (see :mod:`repro.engine.faults`):
+
+        * ``journal.append.pre`` — die before anything is written;
+        * ``journal.append.torn`` — write half the record, then die
+          (models power loss between the append and the fsync);
+        * ``journal.append.post`` — write + fsync the whole record,
+          then die before returning (the event is durable but the
+          caller never learns it).
+        """
+        faults = self.faults
+        if faults is not None and faults.should_crash_at(
+            "journal.append.pre"
+        ):
+            from ..engine.faults import service_crash
+
+            service_crash("journal.append.pre")
+        seq = self._seq + 1
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "seq": seq,
+            "checksum": _checksum(event),
+            "event": event,
+        }
+        line = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        torn = faults is not None and faults.should_crash_at(
+            "journal.append.torn"
+        )
+        try:
+            with open(self.path, "ab") as fh:
+                if torn:
+                    fh.write(line[: max(1, len(line) // 2)])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    from ..engine.faults import service_crash
+
+                    service_crash("journal.append.torn")
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"cannot append to journal {self.path!r}: {exc}"
+            ) from exc
+        self._seq = seq
+        if faults is not None and faults.should_crash_at(
+            "journal.append.post"
+        ):
+            from ..engine.faults import service_crash
+
+            service_crash("journal.append.post")
+        return seq

@@ -1,0 +1,604 @@
+"""Durable job store: journal-backed job records + per-job directories.
+
+Layout under one store root::
+
+    root/
+      journal.jsonl          # the write-ahead journal (source of truth)
+      jobs/<job_id>/
+        request.json         # the submitted request (circuit + config)
+        state.json           # checksummed convenience snapshot
+        checkpoint.json      # engine checkpoint while running
+        result.json          # the routing result once done
+        trace.json           # the engine trace of the finishing run
+        log.jsonl            # streamed trace-v3 progress events
+        heartbeat.json       # worker liveness stamp (not journaled)
+      results/<fp>.json      # fingerprint -> job_id dedupe index
+
+Every state transition is journaled *first* (append + fsync), then
+applied in memory, then mirrored into ``state.json``.  The snapshot is
+a convenience for humans and external pollers; recovery always rebuilds
+records from the journal, so a corrupt or stale snapshot can never
+change what a job *is* — the ``corrupt_job_state`` fault proves it.
+
+Job lifecycle::
+
+    queued -> running <-> checkpointed -> done | failed | cancelled
+       ^         |
+       +---------+   (requeue: crash recovery, stale takeover, retry)
+
+``checkpointed`` is ``running`` with at least one engine checkpoint on
+disk — a crash there resumes from the checkpoint (bit-identical to an
+uninterrupted run, the PR-2 guarantee) instead of starting over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional
+
+from ..errors import JobError, ServiceError
+from .journal import Journal
+
+#: every job state
+JOB_STATES = (
+    "queued", "running", "checkpointed", "done", "failed", "cancelled",
+)
+
+#: states a job never leaves
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: states that occupy a worker or the queue (admission counts these)
+ACTIVE_STATES = ("queued", "running", "checkpointed")
+
+#: job state snapshot schema identifier
+STATE_SCHEMA = "repro.service/job-state-v1"
+
+_JOB_ID_RE = re.compile(r"^job-(\d{6})$")
+
+
+def _now() -> float:
+    return time.time()
+
+
+def _atomic_write_json(path: str, doc: Dict[str, Any]) -> None:
+    """Write ``doc`` as JSON via the temp-file + rename protocol."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise ServiceError(f"cannot write {path!r}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - replace() failed
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one job (journal-derived)."""
+
+    job_id: str
+    state: str = "queued"
+    tenant: str = "default"
+    fingerprint: str = ""
+    #: claim count — 1 on the first run, +1 per requeue/retry
+    attempts: int = 0
+    worker: Optional[str] = None
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+    #: terminal error description (failed jobs)
+    error: Optional[str] = None
+    #: job id whose cached result served this request (dedupe)
+    deduped_from: Optional[str] = None
+    cancel_requested: bool = False
+    #: how many times the job resumed from an engine checkpoint
+    resumes: int = 0
+    #: result summary, stamped at ``done``
+    channel_width: Optional[int] = None
+    passes_used: Optional[int] = None
+    total_wirelength: Optional[float] = None
+    #: True once the result passed independent verification
+    verified: bool = False
+    #: requeue reasons, newest last (crash recovery, takeover, retry)
+    requeues: List[str] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobRecord":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in names})
+
+
+class JobStore:
+    """Crash-safe persistence for the job service (single process).
+
+    All mutation goes through :meth:`commit`: journal append first,
+    then the in-memory record, then the snapshot file.  The class is
+    not thread-safe by itself — the supervisor serializes access
+    through its own lock.
+    """
+
+    def __init__(self, root: str, *, faults=None):
+        self.root = os.path.abspath(root)
+        self.faults = faults
+        os.makedirs(os.path.join(self.root, "jobs"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "results"), exist_ok=True)
+        self.journal = Journal(
+            os.path.join(self.root, "journal.jsonl"), faults=faults
+        )
+        self.jobs: Dict[str, JobRecord] = {}
+        for event in self.journal.replayed:
+            self._apply(event)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.root, "jobs", job_id)
+
+    def request_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "request.json")
+
+    def state_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "state.json")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "checkpoint.json")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    def trace_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "trace.json")
+
+    def log_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "log.jsonl")
+
+    def heartbeat_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "heartbeat.json")
+
+    def index_path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, "results", f"{fingerprint}.json")
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobError(
+                f"unknown job {job_id!r}", job_id=job_id
+            ) from None
+
+    def records(self) -> List[JobRecord]:
+        """All jobs in submission order (job ids are monotonic)."""
+        return [self.jobs[k] for k in sorted(self.jobs)]
+
+    def active_count(self, tenant: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.jobs.values()
+            if r.state in ACTIVE_STATES
+            and (tenant is None or r.tenant == tenant)
+        )
+
+    def next_job_id(self) -> str:
+        """Smallest unused ``job-NNNNNN`` across journal *and* disk.
+
+        Scanning the jobs directory too means an adopted orphan (a
+        crash between ``request.json`` and the ``submitted`` append)
+        can never collide with a later submission.
+        """
+        top = 0
+        names = set(self.jobs)
+        try:
+            names.update(os.listdir(os.path.join(self.root, "jobs")))
+        except OSError:  # pragma: no cover - racing rmdir
+            pass
+        for name in names:
+            m = _JOB_ID_RE.match(name)
+            if m:
+                top = max(top, int(m.group(1)))
+        return f"job-{top + 1:06d}"
+
+    # ------------------------------------------------------------------
+    # the write path: journal -> memory -> snapshot
+    # ------------------------------------------------------------------
+    def commit(self, event: Dict[str, Any]) -> JobRecord:
+        """Durably record one event and apply it."""
+        self.journal.append(event)
+        record = self._apply(event)
+        self._write_snapshot(record)
+        return record
+
+    def _apply(self, event: Dict[str, Any]) -> JobRecord:
+        """Fold one journal event into the in-memory records.
+
+        Replay-idempotent: applying an event a second time (a crash
+        between the fsync and the caller's return, then recovery)
+        converges to the same record.
+        """
+        kind = event.get("type")
+        job_id = event.get("job")
+        if not isinstance(job_id, str):
+            raise ServiceError(f"journal event without a job id: {event}")
+        if kind == "submitted":
+            record = self.jobs.get(job_id) or JobRecord(job_id=job_id)
+            record.state = "queued"
+            record.tenant = event.get("tenant", record.tenant)
+            record.fingerprint = event.get(
+                "fingerprint", record.fingerprint
+            )
+            record.submitted_at = event.get("at", record.submitted_at)
+            self.jobs[job_id] = record
+            return record
+        record = self.jobs.get(job_id)
+        if record is None:
+            # transition for a job whose `submitted` append was lost
+            # (crash before it); synthesize so replay never explodes
+            record = JobRecord(job_id=job_id)
+            self.jobs[job_id] = record
+        if kind == "transition":
+            to = event.get("to")
+            if to not in JOB_STATES:
+                raise ServiceError(
+                    f"journal transition to unknown state {to!r}"
+                )
+            record.state = to
+            for key in (
+                "worker", "error", "deduped_from", "channel_width",
+                "passes_used", "total_wirelength",
+            ):
+                if key in event:
+                    setattr(record, key, event[key])
+            if event.get("verified"):
+                record.verified = True
+            if "attempts" in event:
+                record.attempts = event["attempts"]
+            if "resumes" in event:
+                record.resumes = event["resumes"]
+            if event.get("requeue_reason"):
+                record.requeues.append(event["requeue_reason"])
+            if to in TERMINAL_STATES:
+                record.finished_at = event.get("at", _now())
+                record.worker = None
+            return record
+        if kind == "cancel_requested":
+            record.cancel_requested = True
+            return record
+        raise ServiceError(f"unknown journal event type {kind!r}")
+
+    def _write_snapshot(self, record: JobRecord) -> None:
+        """Mirror a record into its ``state.json`` (best effort + faulted)."""
+        faults = self.faults
+        if faults is not None and faults.should_crash_at("state.write.pre"):
+            from ..engine.faults import service_crash
+
+            service_crash("state.write.pre")
+        state = record.to_dict()
+        checksum = hashlib.sha256(
+            json.dumps(state, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        if faults is not None and faults.should_corrupt_job_state():
+            checksum = "0" * len(checksum)
+        os.makedirs(self.job_dir(record.job_id), exist_ok=True)
+        _atomic_write_json(
+            self.state_path(record.job_id),
+            {"schema": STATE_SCHEMA, "checksum": checksum, "state": state},
+        )
+        if faults is not None and faults.should_crash_at(
+            "state.write.post"
+        ):
+            from ..engine.faults import service_crash
+
+            service_crash("state.write.post")
+
+    def load_snapshot(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Read a job's ``state.json`` if present *and* intact.
+
+        Returns ``None`` for missing or damaged snapshots — the journal
+        is the truth, a snapshot is only ever a hint.
+        """
+        path = self.state_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != STATE_SCHEMA:
+            return None
+        state = doc.get("state")
+        if not isinstance(state, dict):
+            return None
+        checksum = hashlib.sha256(
+            json.dumps(state, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        if doc.get("checksum") != checksum:
+            return None
+        return state
+
+    # ------------------------------------------------------------------
+    # lifecycle operations
+    # ------------------------------------------------------------------
+    def create_job(
+        self,
+        request: Dict[str, Any],
+        *,
+        fingerprint: str,
+        tenant: str,
+    ) -> JobRecord:
+        """Persist a new job: request file first, then the journal.
+
+        A crash between the two leaves an orphan job directory with a
+        request but no journal entry; :meth:`reconcile` adopts it as
+        queued, so an acknowledged id is never lost and an unacked one
+        is still routed rather than dropped.
+        """
+        job_id = self.next_job_id()
+        os.makedirs(self.job_dir(job_id), exist_ok=True)
+        _atomic_write_json(self.request_path(job_id), request)
+        return self.commit(
+            {
+                "type": "submitted",
+                "job": job_id,
+                "tenant": tenant,
+                "fingerprint": fingerprint,
+                "at": _now(),
+            }
+        )
+
+    def load_request(self, job_id: str) -> Dict[str, Any]:
+        path = self.request_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"job {job_id}: unreadable request ({exc})"
+            ) from exc
+
+    def transition(
+        self, job_id: str, to: str, **extra: Any
+    ) -> JobRecord:
+        """Journal + apply one state transition."""
+        event = {"type": "transition", "job": job_id, "to": to,
+                 "at": _now(), **extra}
+        return self.commit(event)
+
+    def claim(self, job_id: str, worker: str) -> JobRecord:
+        record = self.get(job_id)
+        record_attempts = record.attempts + 1
+        out = self.transition(
+            job_id, "running", worker=worker, attempts=record_attempts
+        )
+        self.heartbeat(job_id, worker)
+        return out
+
+    def write_result(self, job_id: str, result_doc: Dict[str, Any]) -> None:
+        """Persist ``result.json`` (with its own crash fault points)."""
+        faults = self.faults
+        if faults is not None and faults.should_crash_at(
+            "result.write.pre"
+        ):
+            from ..engine.faults import service_crash
+
+            service_crash("result.write.pre")
+        _atomic_write_json(self.result_path(job_id), result_doc)
+        if faults is not None and faults.should_crash_at(
+            "result.write.post"
+        ):
+            from ..engine.faults import service_crash
+
+            service_crash("result.write.post")
+
+    def finish_done(
+        self,
+        job_id: str,
+        *,
+        channel_width: int,
+        passes_used: int,
+        total_wirelength: float,
+        verified: bool,
+        deduped_from: Optional[str] = None,
+    ) -> JobRecord:
+        record = self.transition(
+            job_id,
+            "done",
+            channel_width=channel_width,
+            passes_used=passes_used,
+            total_wirelength=total_wirelength,
+            verified=verified,
+            deduped_from=deduped_from,
+        )
+        fingerprint = record.fingerprint
+        if fingerprint and deduped_from is None:
+            # the dedupe index points at the job that actually routed
+            _atomic_write_json(
+                self.index_path(fingerprint),
+                {"fingerprint": fingerprint, "job": job_id, "at": _now()},
+            )
+        self._remove_checkpoint(job_id)
+        return record
+
+    def finish_failed(self, job_id: str, error: str) -> JobRecord:
+        record = self.transition(job_id, "failed", error=error)
+        self._remove_checkpoint(job_id)
+        return record
+
+    def requeue(self, job_id: str, reason: str) -> JobRecord:
+        return self.transition(
+            job_id, "queued", requeue_reason=reason, worker=None
+        )
+
+    def _remove_checkpoint(self, job_id: str) -> None:
+        path = self.checkpoint_path(job_id)
+        if os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # result dedupe index
+    # ------------------------------------------------------------------
+    def lookup_result(self, fingerprint: str) -> Optional[str]:
+        """Job id that already routed this fingerprint, if any.
+
+        The pointed-at job must still be ``done`` with its result file
+        present — anything else (purged dir, re-queued job) makes the
+        index entry stale and it is ignored.
+        """
+        path = self.index_path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        job_id = doc.get("job") if isinstance(doc, dict) else None
+        if not isinstance(job_id, str):
+            return None
+        record = self.jobs.get(job_id)
+        if (
+            record is None
+            or record.state != "done"
+            or not os.path.exists(self.result_path(job_id))
+        ):
+            return None
+        return job_id
+
+    # ------------------------------------------------------------------
+    # heartbeats (not journaled — liveness, not history)
+    # ------------------------------------------------------------------
+    def heartbeat(self, job_id: str, worker: str) -> None:
+        try:
+            _atomic_write_json(
+                self.heartbeat_path(job_id),
+                {"worker": worker, "pid": os.getpid(), "at": _now()},
+            )
+        except ServiceError:  # pragma: no cover - disk full etc.
+            pass
+
+    def heartbeat_info(self, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(
+                self.heartbeat_path(job_id), "r", encoding="utf-8"
+            ) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def stale(self, job_id: str, stale_after_s: float) -> bool:
+        """Is a running job's owner dead or silent past the threshold?
+
+        A missing heartbeat counts as stale (the claim write itself
+        stamps one, so absence means the claimant died immediately);
+        a heartbeat from a dead pid is stale regardless of age.
+        """
+        info = self.heartbeat_info(job_id)
+        if info is None:
+            return True
+        pid = info.get("pid")
+        if isinstance(pid, int) and pid != os.getpid():
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                return True
+        at = info.get("at")
+        return not isinstance(at, (int, float)) or (
+            _now() - at > stale_after_s
+        )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def reconcile(self) -> Dict[str, List[str]]:
+        """Startup scan: adopt orphans, requeue interrupted jobs.
+
+        Returns a summary of what happened, keyed by action:
+
+        * ``adopted`` — job dirs with a request but no journal history
+          (crash between the request write and the ``submitted``
+          append) journaled as freshly queued;
+        * ``requeued`` — jobs journaled ``running``/``checkpointed``
+          whose owning process is gone (every previous incarnation of
+          the service is, by definition);
+        * ``cancelled`` — interrupted jobs with a pending cancel;
+        * ``result_lost`` — jobs journaled ``done`` whose result file
+          vanished, re-queued to route again;
+        * ``snapshot_rebuilt`` — state files that were missing or
+          damaged (e.g. the ``corrupt_job_state`` fault) rewritten
+          from the journal's truth.
+        """
+        summary: Dict[str, List[str]] = {
+            "adopted": [],
+            "requeued": [],
+            "cancelled": [],
+            "result_lost": [],
+            "snapshot_rebuilt": [],
+        }
+        jobs_root = os.path.join(self.root, "jobs")
+        try:
+            on_disk = sorted(os.listdir(jobs_root))
+        except OSError:  # pragma: no cover
+            on_disk = []
+        for name in on_disk:
+            if not _JOB_ID_RE.match(name) or name in self.jobs:
+                continue
+            if not os.path.exists(self.request_path(name)):
+                continue
+            try:
+                request = self.load_request(name)
+            except ServiceError:
+                continue
+            self.commit(
+                {
+                    "type": "submitted",
+                    "job": name,
+                    "tenant": request.get("tenant", "default"),
+                    "fingerprint": request.get("fingerprint", ""),
+                    "at": _now(),
+                }
+            )
+            summary["adopted"].append(name)
+        for record in self.records():
+            if record.state in ("running", "checkpointed"):
+                if record.cancel_requested:
+                    self.transition(record.job_id, "cancelled")
+                    summary["cancelled"].append(record.job_id)
+                else:
+                    self.requeue(record.job_id, "crash_recovery")
+                    summary["requeued"].append(record.job_id)
+            elif record.state == "done" and not os.path.exists(
+                self.result_path(record.job_id)
+            ):
+                self.requeue(record.job_id, "result_lost")
+                summary["result_lost"].append(record.job_id)
+            elif record.state == "queued" and record.cancel_requested:
+                self.transition(record.job_id, "cancelled")
+                summary["cancelled"].append(record.job_id)
+        for record in self.records():
+            snapshot = self.load_snapshot(record.job_id)
+            if snapshot != record.to_dict():
+                self._write_snapshot(record)
+                summary["snapshot_rebuilt"].append(record.job_id)
+        return summary

@@ -1,0 +1,377 @@
+"""The job supervisor: workers that drive routing sessions to terminal
+states no matter what dies underneath them.
+
+One :class:`JobSupervisor` owns the claim/run/finish loop around a
+:class:`~repro.service.store.JobStore`:
+
+* **claiming** is FIFO over the durable queue (job ids are monotonic),
+  under one lock, journaled before any work starts — two workers can
+  never both own a job;
+* **running** reuses the engine exactly as the CLI does:
+  :class:`~repro.engine.RoutingSession` for fixed-width requests,
+  :func:`~repro.router.channel_width.minimum_channel_width` for sweep
+  requests, always with the job's ``checkpoint.json`` as the engine
+  checkpoint — so a crashed job resumes *bit-identically* from its
+  last committed pass instead of starting over;
+* **deadlines** map the request's budgets onto
+  ``RouterConfig.pass_timeout_s`` / ``route_timeout_s``; exceeding one
+  is a semantic outcome (the job fails with the timeout recorded), not
+  a crash;
+* **retry** wraps infrastructure failures (anything that is not a
+  :class:`~repro.errors.ReproError`) in the engine's seeded-backoff
+  :class:`~repro.engine.retry.RetryPolicy` — each attempt is journaled
+  as a requeue + reclaim, so the attempt history survives crashes too;
+* **heartbeats** are stamped from the engine's live trace stream;
+  :meth:`reclaim_stale` re-queues running jobs whose owner is dead or
+  silent (stale-job takeover after a SIGKILL);
+* **drain** (:meth:`request_drain`, wired to SIGTERM by ``serve``)
+  lets in-flight jobs finish and stops claiming new ones.
+
+Every trace event the engine emits is appended to the job's
+``log.jsonl`` as it happens, so ``repro jobs status`` can show live
+progress for a job the service is still routing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from ..engine import RoutingSession
+from ..engine.checkpoint import load_checkpoint
+from ..engine.retry import RetryPolicy
+from ..errors import (
+    CheckpointError,
+    EngineTimeoutError,
+    ReproError,
+    RoutingError,
+    ValidationError,
+)
+from ..fpga.architecture import xc3000, xc4000
+from ..io import circuit_from_dict, load_result, result_to_dict
+from ..router.channel_width import minimum_channel_width
+from ..router.config import RouterConfig
+from ..validate import verify_result
+from .store import JobRecord, JobStore
+
+#: how long a running job may go without a heartbeat before takeover
+DEFAULT_STALE_AFTER_S = 30.0
+
+_FAMILIES = {"xc3000": xc3000, "xc4000": xc4000}
+
+
+def config_from_dict(doc: Dict[str, Any]) -> RouterConfig:
+    """Rebuild a :class:`RouterConfig` from its request serialization."""
+    kwargs = dict(doc)
+    nets = kwargs.get("critical_nets")
+    if nets is not None:
+        kwargs["critical_nets"] = frozenset(nets)
+    return RouterConfig(**kwargs)
+
+
+class JobSupervisor:
+    """Claims queued jobs and drives each to a verified terminal state."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        lock: Optional[threading.RLock] = None,
+        engine: str = "serial",
+        retry_policy: Optional[RetryPolicy] = None,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        faults=None,
+    ):
+        self.store = store
+        self.lock = lock or threading.RLock()
+        self.engine = engine
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.stale_after_s = stale_after_s
+        self.faults = faults
+        self._drain = threading.Event()
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def request_drain(self) -> None:
+        """Stop claiming new jobs; in-flight jobs run to completion."""
+        self._drain.set()
+
+    # ------------------------------------------------------------------
+    # claiming
+    # ------------------------------------------------------------------
+    def claim_next(self, worker: str) -> Optional[JobRecord]:
+        """Journal a claim on the oldest runnable job, if any."""
+        with self.lock:
+            if self.draining:
+                return None
+            for record in self.store.records():
+                if record.state != "queued":
+                    continue
+                if record.cancel_requested:
+                    self.store.transition(record.job_id, "cancelled")
+                    continue
+                return self.store.claim(record.job_id, worker)
+        return None
+
+    def reclaim_stale(self) -> int:
+        """Re-queue running jobs whose owner is dead or silent.
+
+        Heartbeats carry the claimant's pid; a job whose pid is gone is
+        taken over immediately, one whose heartbeat is older than
+        ``stale_after_s`` is presumed wedged.  Returns how many jobs
+        were re-queued.
+        """
+        taken = 0
+        with self.lock:
+            for record in self.store.records():
+                if record.state not in ("running", "checkpointed"):
+                    continue
+                if self.store.stale(record.job_id, self.stale_after_s):
+                    self.store.requeue(record.job_id, "stale_takeover")
+                    taken += 1
+        return taken
+
+    def run_until_idle(
+        self, *, worker: str = "worker-0", max_jobs: Optional[int] = None
+    ) -> int:
+        """Synchronously drain the queue; returns jobs processed.
+
+        This is the single-threaded service loop the tests (and
+        ``repro jobs serve --exit-when-idle``) drive; ``serve`` wraps
+        it in worker threads for the long-running daemon case.
+        """
+        done = 0
+        while max_jobs is None or done < max_jobs:
+            record = self.claim_next(worker)
+            if record is None:
+                break
+            self.run_job(record, worker)
+            done += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # running one job
+    # ------------------------------------------------------------------
+    def run_job(self, record: JobRecord, worker: str) -> JobRecord:
+        """Drive one claimed job to a terminal state.
+
+        Infrastructure failures retry with seeded backoff (each attempt
+        journaled); semantic failures — unroutable, timeout, failed
+        verification — terminate the job as ``failed`` with the cause
+        recorded.  :class:`~repro.engine.faults.SimulatedCrash` is a
+        ``BaseException`` and deliberately escapes: it *is* the crash
+        the harness asked for.
+        """
+        job_id = record.job_id
+        rng = self.retry_policy.rng()
+        for attempt in range(self.retry_policy.max_attempts):
+            try:
+                return self._attempt(record, worker)
+            except ReproError:
+                raise
+            except Exception as exc:  # infrastructure crash: retry
+                if attempt + 1 >= self.retry_policy.max_attempts:
+                    with self.lock:
+                        return self.store.finish_failed(
+                            job_id,
+                            f"crashed {attempt + 1} time(s); last: "
+                            f"{exc!r}",
+                        )
+                time.sleep(self.retry_policy.delay(attempt, rng))
+                with self.lock:
+                    self.store.requeue(job_id, f"retry:{exc!r}"[:120])
+                    record = self.store.claim(job_id, worker)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _attempt(self, record: JobRecord, worker: str) -> JobRecord:
+        store = self.store
+        job_id = record.job_id
+        if record.cancel_requested:
+            with self.lock:
+                return store.transition(job_id, "cancelled")
+
+        request = store.load_request(job_id)
+        circuit = circuit_from_dict(
+            request["circuit"], source=store.request_path(job_id)
+        )
+        config = self._job_config(request)
+        family = _FAMILIES[request.get("family", "xc3000")]
+        engine = request.get("engine") or self.engine
+
+        adopted = self._adopt_existing_result(record, circuit, config, family)
+        if adopted is not None:
+            return adopted
+
+        checkpoint = store.checkpoint_path(job_id)
+        resume = checkpoint if os.path.exists(checkpoint) else None
+        if resume is not None:
+            try:
+                load_checkpoint(resume)
+            except CheckpointError:
+                # a damaged checkpoint must never wedge the job —
+                # drop it and route this attempt from scratch
+                os.unlink(resume)
+                resume = None
+        if resume is not None:
+            # journal the resume so the job's history shows it picked
+            # up from a checkpoint rather than starting over
+            with self.lock:
+                record = store.transition(
+                    job_id, "running", resumes=record.resumes + 1
+                )
+        listener = self._listener(job_id, worker)
+        width = request.get("width")
+        trace = None
+        try:
+            if width is not None:
+                arch = family(circuit.rows, circuit.cols, width)
+                session = RoutingSession(
+                    arch,
+                    config,
+                    engine=engine,
+                    faults=self.faults,
+                    on_trace_event=listener,
+                )
+                with session:
+                    result = session.route(
+                        circuit, checkpoint=checkpoint, resume=resume
+                    )
+                trace = session.trace
+            else:
+                width_found, result = minimum_channel_width(
+                    circuit,
+                    family,
+                    config,
+                    w_max=request.get("w_max", 40),
+                    engine=engine,
+                    checkpoint=checkpoint,
+                    # a missing resume file just means "start fresh"
+                    resume=checkpoint,
+                    on_trace_event=listener,
+                )
+        except (RoutingError, EngineTimeoutError, ValidationError) as exc:
+            with self.lock:
+                return store.finish_failed(
+                    job_id, f"{type(exc).__name__}: {exc}"
+                )
+
+        return self._finish(record, circuit, config, family, result, trace)
+
+    def _job_config(self, request: Dict[str, Any]) -> RouterConfig:
+        """The request's config with its deadline budgets applied."""
+        config = config_from_dict(request.get("config") or {})
+        overrides: Dict[str, Any] = {}
+        deadline = request.get("deadline_s")
+        if deadline is not None and config.pass_timeout_s is None:
+            overrides["pass_timeout_s"] = float(deadline)
+        net_deadline = request.get("net_deadline_s")
+        if net_deadline is not None and config.route_timeout_s is None:
+            overrides["route_timeout_s"] = float(net_deadline)
+        return replace(config, **overrides) if overrides else config
+
+    def _adopt_existing_result(
+        self, record: JobRecord, circuit, config, family
+    ) -> Optional[JobRecord]:
+        """Serve a result that already exists instead of re-routing.
+
+        Two sources: this job's own ``result.json`` (a crash landed
+        between the result write and the ``done`` transition), or the
+        dedupe index (an identical request finished while this one sat
+        queued).  Either way the result is re-verified before the job
+        adopts it — a cached result is served only if it is *still*
+        provably correct.
+        """
+        store = self.store
+        job_id = record.job_id
+        own = store.result_path(job_id)
+        source_job = None
+        if os.path.exists(own):
+            path = own
+        else:
+            source_job = store.lookup_result(record.fingerprint)
+            if source_job is None or source_job == job_id:
+                return None
+            path = store.result_path(source_job)
+        try:
+            result = load_result(path)
+        except ReproError:
+            # damaged artifact: ignore it and route for real
+            return None
+        arch = family(circuit.rows, circuit.cols, result.channel_width)
+        report = verify_result(result, circuit, arch, config, level="full")
+        if not report.ok:
+            return None
+        if source_job is not None:
+            store.write_result(job_id, result_to_dict(result))
+        with self.lock:
+            return store.finish_done(
+                job_id,
+                channel_width=result.channel_width,
+                passes_used=result.passes_used,
+                total_wirelength=result.total_wirelength,
+                verified=True,
+                deduped_from=source_job,
+            )
+
+    def _finish(
+        self, record: JobRecord, circuit, config, family, result, trace
+    ) -> JobRecord:
+        """Verify, persist and journal a freshly routed result."""
+        store = self.store
+        job_id = record.job_id
+        arch = family(circuit.rows, circuit.cols, result.channel_width)
+        report = verify_result(result, circuit, arch, config, level="full")
+        if not report.ok:
+            with self.lock:
+                return store.finish_failed(
+                    job_id,
+                    f"result failed verification: "
+                    f"{report.errors[0].render()}",
+                )
+        store.write_result(job_id, result_to_dict(result))
+        if trace is not None:
+            try:
+                trace.write(store.trace_path(job_id))
+            except OSError:  # pragma: no cover - trace is best effort
+                pass
+        with self.lock:
+            return store.finish_done(
+                job_id,
+                channel_width=result.channel_width,
+                passes_used=result.passes_used,
+                total_wirelength=result.total_wirelength,
+                verified=True,
+            )
+
+    # ------------------------------------------------------------------
+    # live progress
+    # ------------------------------------------------------------------
+    def _listener(self, job_id: str, worker: str):
+        """Trace-event sink: stream to log.jsonl, heartbeat, journal
+        the running -> checkpointed transition on the first checkpoint."""
+        store = self.store
+        log_path = store.log_path(job_id)
+
+        def on_event(event: Dict[str, Any]) -> None:
+            try:
+                with open(log_path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(event) + "\n")
+            except OSError:  # pragma: no cover - log is best effort
+                pass
+            store.heartbeat(job_id, worker)
+            if event.get("type") == "checkpoint":
+                with self.lock:
+                    current = store.jobs.get(job_id)
+                    if current is not None and current.state == "running":
+                        store.transition(job_id, "checkpointed")
+
+        return on_event

@@ -40,6 +40,7 @@ from repro.engine import (
     load_trace,
     map_with_recovery,
     save_checkpoint,
+    sweep_stale_tmp,
 )
 from repro.errors import (
     CheckpointError,
@@ -377,6 +378,31 @@ class TestFaultInjectionEndToEnd:
         )
         assert session.trace.engine_final == "thread"  # no degradation
 
+    def test_kill_during_flat_materialize_is_bit_identical(
+        self, wide_circuit, tmp_path
+    ):
+        # the CSR shipping path has its own window: the worker dies
+        # while the task's graph exists only as shipped flat arrays,
+        # before the thaw-side pin attachment
+        reference = RoutingSession(_arch_for(wide_circuit, 8), KMB).route(
+            wide_circuit
+        )
+        flat = RouterConfig(algorithm="kmb", graph_backend="flat")
+        plan = FaultPlan(kill_on_materialize=0, state_dir=str(tmp_path))
+        session = RoutingSession(
+            _arch_for(wide_circuit, 8), flat,
+            engine="process", max_workers=2, faults=plan,
+        )
+        result = session.route(wide_circuit)
+        assert plan.fired("kill-mat") == 1  # it really died mid-thaw
+        assert result.total_wirelength == pytest.approx(
+            reference.total_wirelength
+        )
+        _assert_routes_identical(reference, result)
+        kinds = [e["type"] for e in session.trace.events]
+        assert "pool_rebuilt" in kinds
+        assert session.trace.totals()["retries"] >= 1
+
 
 # ----------------------------------------------------------------------
 # deadlines and budgets
@@ -537,6 +563,36 @@ class TestCheckpointResume:
             session.route(
                 small_circuit, resume=str(tmp_path / "missing.ck")
             )
+
+    def test_stale_tmp_orphans_are_swept(self, tmp_path):
+        # a crash between staging <path>.tmp.<pid> and os.replace()
+        # leaves the staging file behind; save and load both sweep it
+        path = str(tmp_path / "swept.ck")
+        orphan = f"{path}.tmp.12345"
+        with open(orphan, "w") as fh:
+            fh.write("dead writer's half-written checkpoint")
+        save_checkpoint(path, {"outcome": "in_progress"})
+        assert not os.path.exists(orphan)
+        assert load_checkpoint(path)["outcome"] == "in_progress"
+
+        with open(orphan, "w") as fh:
+            fh.write("another orphan, left after the save")
+        assert load_checkpoint(path)["outcome"] == "in_progress"
+        assert not os.path.exists(orphan)
+        # the checkpoint itself survives the sweep
+        assert os.path.exists(path)
+
+    def test_sweep_stale_tmp_counts_only_orphans(self, tmp_path):
+        path = str(tmp_path / "count.ck")
+        save_checkpoint(path, {"outcome": "in_progress"})
+        for pid in (111, 222):
+            with open(f"{path}.tmp.{pid}", "w") as fh:
+                fh.write("orphan")
+        (tmp_path / "unrelated.txt").write_text("kept")
+        assert sweep_stale_tmp(path) == 2
+        assert sweep_stale_tmp(path) == 0
+        assert (tmp_path / "unrelated.txt").exists()
+        assert os.path.exists(path)
 
     def test_corrupt_checkpoint_is_refused(self, tmp_path):
         path = str(tmp_path / "corrupt.ck")
