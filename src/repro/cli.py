@@ -704,9 +704,16 @@ def _print_job(record: dict) -> None:
 def _cmd_jobs(args) -> int:
     from .service import RoutingService
 
-    service = RoutingService(args.root) if args.jobs_command not in (
-        "serve",
-    ) else None
+    # inspection verbs never write; submit/cancel append under the
+    # journal's inter-process lock but must not run recovery — a live
+    # `repro jobs serve` owns the store, and requeueing the jobs it is
+    # actively routing would cause duplicate execution.  Only `serve`
+    # opens in full recovery mode.
+    service = None
+    if args.jobs_command in ("status", "result"):
+        service = RoutingService(args.root, readonly=True)
+    elif args.jobs_command in ("submit", "cancel"):
+        service = RoutingService(args.root, recover=False)
 
     if args.jobs_command == "submit":
         circuit, family = _jobs_circuit(args)

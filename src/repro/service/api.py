@@ -11,10 +11,15 @@ CLI (``repro jobs``) and the tests drive:
 * :meth:`serve` — the daemon: worker threads, periodic stale-job
   takeover, graceful SIGTERM drain.
 
-Opening a service *is* crash recovery: the store replays the journal,
-truncates any torn tail, adopts orphaned job directories, and re-queues
-every job a previous incarnation was interrupted in — the recovery
-summary is kept on :attr:`RoutingService.recovered`.
+Opening a service (by default) *is* crash recovery: the store replays
+the journal, truncates any torn tail, adopts orphaned job directories,
+and re-queues every job a previous incarnation was interrupted in — the
+recovery summary is kept on :attr:`RoutingService.recovered`.  Recovery
+assumes no other live incarnation owns the store; to inspect or submit
+against a store a running server owns, open with ``readonly=True``
+(status/result — never writes) or ``recover=False`` (submit/cancel —
+appends under the journal's inter-process lock without requeueing the
+server's in-flight work).
 
 Idempotent dedupe
 -----------------
@@ -34,10 +39,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import signal
+import sys
 import threading
 import time
+import traceback
 from typing import Any, Dict, List, Optional
 
 from ..engine.checkpoint import config_fingerprint
@@ -45,9 +51,10 @@ from ..engine.faults import FaultPlan
 from ..engine.retry import RetryPolicy
 from ..errors import JobError, ReproError
 from ..fpga.netlist import PlacedCircuit
-from ..io import circuit_to_dict, load_result
+from ..io import circuit_to_dict, load_result, result_to_dict
 from ..router.config import RouterConfig
 from ..router.result import RoutingResult
+from ..validate import verify_result
 from .admission import AdmissionPolicy
 from .store import JobRecord, JobStore, TERMINAL_STATES
 from .supervisor import _FAMILIES, DEFAULT_STALE_AFTER_S, JobSupervisor
@@ -114,13 +121,28 @@ class RoutingService:
         retry_policy: Optional[RetryPolicy] = None,
         stale_after_s: float = DEFAULT_STALE_AFTER_S,
         faults: Optional[FaultPlan] = None,
+        recover: bool = True,
+        readonly: bool = False,
     ):
+        """Open (and, by default, crash-recover) the store at ``root``.
+
+        ``recover=False`` opens without running the reconciliation scan
+        — the right mode for submitting or cancelling against a store a
+        *live* server owns, where requeueing its in-flight jobs would
+        cause duplicate execution.  ``readonly=True`` additionally
+        refuses every journal write (status/result inspection); it
+        implies ``recover=False``.
+        """
         self.faults = faults if faults is not None else FaultPlan.from_env()
         self.lock = threading.RLock()
-        self.store = JobStore(root, faults=self.faults)
+        self.readonly = readonly
+        self.store = JobStore(root, faults=self.faults, readonly=readonly)
         self.policy = policy or AdmissionPolicy()
         #: what recovery did when this instance opened the store
-        self.recovered = self.store.reconcile()
+        if recover and not readonly:
+            self.recovered = self.store.reconcile()
+        else:
+            self.recovered = {}
         self.supervisor = JobSupervisor(
             self.store,
             lock=self.lock,
@@ -167,6 +189,9 @@ class RoutingService:
         if width is not None:
             arch = _FAMILIES[family](circuit.rows, circuit.cols, width)
         with self.lock:
+            # fold in anything another process journaled (a live server
+            # finishing jobs frees queue slots; its results feed dedupe)
+            self.store.refresh()
             self.policy.admit(self.store, circuit, arch, tenant)
             fingerprint = request_fingerprint(
                 circuit, config, family=family, width=width, w_max=w_max
@@ -190,28 +215,54 @@ class RoutingService:
             )
             source = self.store.lookup_result(fingerprint)
             if source is not None:
-                # an identical request already routed and verified:
-                # adopt its result right now, skipping the queue
-                donor = self.store.get(source)
-                self.store.write_result(
-                    record.job_id,
-                    self._load_result_doc(source),
+                # an identical request already routed: adopt its result
+                # right now, skipping the queue — but only after it
+                # re-verifies, exactly like claim-time adoption
+                adopted = self._adopt_at_submit(
+                    record, source, circuit, config, family
                 )
-                record = self.store.finish_done(
-                    record.job_id,
-                    channel_width=donor.channel_width,
-                    passes_used=donor.passes_used,
-                    total_wirelength=donor.total_wirelength,
-                    verified=donor.verified,
-                    deduped_from=source,
-                )
+                if adopted is not None:
+                    return adopted
             return record
 
-    def _load_result_doc(self, job_id: str) -> Dict[str, Any]:
-        with open(
-            self.store.result_path(job_id), "r", encoding="utf-8"
-        ) as fh:
-            return json.load(fh)
+    def _adopt_at_submit(
+        self,
+        record: JobRecord,
+        source: str,
+        circuit: PlacedCircuit,
+        config: RouterConfig,
+        family: str,
+    ) -> Optional[JobRecord]:
+        """Serve a donor job's cached result to a fresh submission.
+
+        The donor's ``result.json`` is re-verified (``level="full"``)
+        before adoption; a damaged, unparseable or no-longer-correct
+        artifact returns ``None`` and the new job stays queued for a
+        real route instead of surfacing an error after it was already
+        journaled.
+        """
+        try:
+            result = load_result(self.store.result_path(source))
+            arch = _FAMILIES[family](
+                circuit.rows, circuit.cols, result.channel_width
+            )
+            report = verify_result(
+                result, circuit, arch, config, level="full"
+            )
+        except Exception:
+            # damaged artifact: fall back to the normal enqueue
+            return None
+        if not report.ok:
+            return None
+        self.store.write_result(record.job_id, result_to_dict(result))
+        return self.store.finish_done(
+            record.job_id,
+            channel_width=result.channel_width,
+            passes_used=result.passes_used,
+            total_wirelength=result.total_wirelength,
+            verified=True,
+            deduped_from=source,
+        )
 
     # ------------------------------------------------------------------
     # inspection
@@ -219,16 +270,19 @@ class RoutingService:
     def status(self, job_id: str) -> Dict[str, Any]:
         """One job's journal-derived record as a plain dict."""
         with self.lock:
+            self.store.refresh()
             return self.store.get(job_id).to_dict()
 
     def jobs(self) -> List[Dict[str, Any]]:
         """All job records, in submission order."""
         with self.lock:
+            self.store.refresh()
             return [r.to_dict() for r in self.store.records()]
 
     def result(self, job_id: str) -> RoutingResult:
         """The verified routing result of a ``done`` job."""
         with self.lock:
+            self.store.refresh()
             record = self.store.get(job_id)
         if record.state != "done":
             raise JobError(
@@ -248,6 +302,7 @@ class RoutingService:
         error.
         """
         with self.lock:
+            self.store.refresh()
             record = self.store.get(job_id)
             if record.state in TERMINAL_STATES:
                 raise JobError(
@@ -309,6 +364,13 @@ class RoutingService:
                     busy[0] += 1
                 try:
                     supervisor.run_job(record, name)
+                except Exception:
+                    # run_job journals failures itself; anything that
+                    # still escapes (e.g. a JournalError while the
+                    # store is damaged) must not kill the worker thread
+                    # and with it the whole pool
+                    traceback.print_exc(file=sys.stderr)
+                    time.sleep(poll_s)
                 finally:
                     with counter_lock:
                         busy[0] -= 1

@@ -30,6 +30,15 @@ Damage that cannot be a crash tail — a garbled record in the middle of
 the file, a wrong schema, a non-monotonic sequence number — raises
 :class:`~repro.errors.JournalError`: that file was edited or corrupted
 at rest, and refusing it loudly beats silently dropping history.
+
+Multi-process safety: every append (and the open-time truncation) runs
+under an OS-level ``flock`` on a ``<journal>.lock`` sidecar, and an
+appender first *resyncs* — folds any records another process appended
+since it last looked — so two processes writing the same store (a
+``repro jobs serve`` daemon plus a ``repro jobs submit`` from another
+shell) keep the sequence chain dense instead of double-allocating a
+``seq`` and bricking the file.  Read-only opens (``repro jobs status``)
+never truncate and never append.
 """
 
 from __future__ import annotations
@@ -37,9 +46,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import JournalError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: current journal record schema identifier
 JOURNAL_SCHEMA = "repro.service/journal-v1"
@@ -124,23 +139,47 @@ def read_journal(path: str) -> Tuple[List[Dict[str, Any]], int]:
 
 
 class Journal:
-    """The job store's append-only event log (single writer).
+    """The job store's append-only event log.
 
     Opening replays the existing file, truncates any torn tail back to
-    the last durable record, and remembers the next sequence number.
-    :meth:`append` is write + flush + fsync per event — the service's
-    event rate (a handful per job) makes durability cheap.
+    the last durable record (writer mode only), and remembers the next
+    sequence number.  :meth:`append` is write + flush + fsync per event
+    — the service's event rate (a handful per job) makes durability
+    cheap.
+
+    ``readonly`` journals never modify the file: no torn-tail
+    truncation on open, and :meth:`append` refuses.  They can still
+    :meth:`refresh` to fold records a writer appended since.
+
+    The instance is not thread-safe by itself (the store serializes
+    access through the service lock); *cross-process* safety comes from
+    the ``flock`` taken by :meth:`lock` around every append and the
+    open-time truncation.
     """
 
-    def __init__(self, path: str, *, faults=None):
+    def __init__(self, path: str, *, faults=None, readonly: bool = False):
         self.path = path
         self.faults = faults
-        events, durable = read_journal(path)
-        if os.path.exists(path) and durable < os.path.getsize(path):
-            # drop the torn tail so the next append starts a clean line
-            with open(path, "r+b") as fh:
-                fh.truncate(durable)
+        self.readonly = readonly
+        #: called with each event another process appended, as soon as
+        #: a resync discovers it (the store folds them into its records)
+        self.foreign_event_sink: Optional[
+            Callable[[Dict[str, Any]], None]
+        ] = None
+        self._lock_path = f"{path}.lock"
+        self._lock_depth = 0
+        with self.lock():
+            events, durable = read_journal(path)
+            if (
+                not readonly
+                and os.path.exists(path)
+                and durable < os.path.getsize(path)
+            ):
+                # drop the torn tail so the next append starts clean
+                with open(path, "r+b") as fh:
+                    fh.truncate(durable)
         self._seq = len(events)
+        self._offset = durable
         self._replayed = events
 
     @property
@@ -152,8 +191,86 @@ class Journal:
     def next_seq(self) -> int:
         return self._seq + 1
 
+    @contextmanager
+    def lock(self):
+        """Exclusive inter-process lock on the journal (reentrant).
+
+        Reentrancy is per-instance: nested :meth:`lock` blocks from the
+        same (service-lock-serialized) store are no-ops, while another
+        process — or another :class:`Journal` on the same path — blocks
+        until release.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        if self._lock_depth:
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        with open(self._lock_path, "a+b") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            self._lock_depth = 1
+            try:
+                yield
+            finally:
+                self._lock_depth = 0
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def refresh(self) -> int:
+        """Fold records other processes appended since we last looked.
+
+        Returns how many foreign events were consumed; each one is also
+        passed to :attr:`foreign_event_sink`.  Safe in read-only mode —
+        nothing is written, a torn tail is simply left unconsumed.
+        """
+        with self.lock():
+            return self._resync()
+
+    def _resync(self) -> int:
+        """Advance ``_seq``/``_offset`` over foreign appends (locked)."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        if size <= self._offset:
+            return 0
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            raw = fh.read()
+        consumed = 0
+        lines = raw.split(b"\n")
+        complete = lines[:-1]
+        for i, chunk in enumerate(complete):
+            where = f"{self.path}:seq>{self._seq}"
+            try:
+                event = _parse_record(
+                    chunk.decode("utf-8"), self._seq + 1, where
+                )
+            except (UnicodeDecodeError, JournalError) as exc:
+                if i == len(complete) - 1:
+                    # another writer died mid-append; its torn tail is
+                    # not ours to consume (the next appender truncates)
+                    break
+                if isinstance(exc, JournalError):
+                    raise
+                raise JournalError(f"{where}: undecodable record") from None
+            self._seq += 1
+            self._offset += len(chunk) + 1
+            consumed += 1
+            if self.foreign_event_sink is not None:
+                self.foreign_event_sink(event)
+        return consumed
+
     def append(self, event: Dict[str, Any]) -> int:
         """Durably append one event; returns its sequence number.
+
+        Runs under the inter-process :meth:`lock`: first resyncs over
+        anything another process appended (keeping the sequence chain
+        dense), truncates any torn tail a dead writer left, then writes
+        its own record.
 
         Fault points (see :mod:`repro.engine.faults`):
 
@@ -164,6 +281,10 @@ class Journal:
           then die before returning (the event is durable but the
           caller never learns it).
         """
+        if self.readonly:
+            raise JournalError(
+                f"journal {self.path!r} was opened read-only"
+            )
         faults = self.faults
         if faults is not None and faults.should_crash_at(
             "journal.append.pre"
@@ -171,36 +292,47 @@ class Journal:
             from ..engine.faults import service_crash
 
             service_crash("journal.append.pre")
-        seq = self._seq + 1
-        record = {
-            "schema": JOURNAL_SCHEMA,
-            "seq": seq,
-            "checksum": _checksum(event),
-            "event": event,
-        }
-        line = (
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        ).encode("utf-8")
-        torn = faults is not None and faults.should_crash_at(
-            "journal.append.torn"
-        )
-        try:
-            with open(self.path, "ab") as fh:
-                if torn:
-                    fh.write(line[: max(1, len(line) // 2)])
+        with self.lock():
+            self._resync()
+            try:
+                if os.path.getsize(self.path) > self._offset:
+                    # torn tail from a writer that died mid-append
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(self._offset)
+            except OSError:
+                pass
+            seq = self._seq + 1
+            record = {
+                "schema": JOURNAL_SCHEMA,
+                "seq": seq,
+                "checksum": _checksum(event),
+                "event": event,
+            }
+            line = (
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            ).encode("utf-8")
+            torn = faults is not None and faults.should_crash_at(
+                "journal.append.torn"
+            )
+            try:
+                with open(self.path, "ab") as fh:
+                    if torn:
+                        fh.write(line[: max(1, len(line) // 2)])
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                        from ..engine.faults import service_crash
+
+                        service_crash("journal.append.torn")
+                    fh.write(line)
                     fh.flush()
                     os.fsync(fh.fileno())
-                    from ..engine.faults import service_crash
-
-                    service_crash("journal.append.torn")
-                fh.write(line)
-                fh.flush()
-                os.fsync(fh.fileno())
-        except OSError as exc:
-            raise JournalError(
-                f"cannot append to journal {self.path!r}: {exc}"
-            ) from exc
-        self._seq = seq
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot append to journal {self.path!r}: {exc}"
+                ) from exc
+            self._seq = seq
+            self._offset += len(line)
         if faults is not None and faults.should_crash_at(
             "journal.append.post"
         ):

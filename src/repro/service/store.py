@@ -58,7 +58,9 @@ ACTIVE_STATES = ("queued", "running", "checkpointed")
 #: job state snapshot schema identifier
 STATE_SCHEMA = "repro.service/job-state-v1"
 
-_JOB_ID_RE = re.compile(r"^job-(\d{6})$")
+# six digits is zero-padding, not a ceiling: job-1000000 and wider ids
+# must keep round-tripping through the directory scan
+_JOB_ID_RE = re.compile(r"^job-(\d{6,})$")
 
 
 def _now() -> float:
@@ -136,17 +138,32 @@ class JobStore:
     through its own lock.
     """
 
-    def __init__(self, root: str, *, faults=None):
+    def __init__(self, root: str, *, faults=None, readonly: bool = False):
         self.root = os.path.abspath(root)
         self.faults = faults
+        self.readonly = readonly
         os.makedirs(os.path.join(self.root, "jobs"), exist_ok=True)
         os.makedirs(os.path.join(self.root, "results"), exist_ok=True)
         self.journal = Journal(
-            os.path.join(self.root, "journal.jsonl"), faults=faults
+            os.path.join(self.root, "journal.jsonl"),
+            faults=faults,
+            readonly=readonly,
         )
         self.jobs: Dict[str, JobRecord] = {}
         for event in self.journal.replayed:
             self._apply(event)
+        # from here on, any resync (refresh or mid-append) folds events
+        # appended by other processes straight into the records
+        self.journal.foreign_event_sink = self._apply
+
+    def refresh(self) -> int:
+        """Fold journal events other processes appended; returns count.
+
+        This is how a read-only ``status`` sees a live server's
+        progress, and how a server sees jobs submitted (or cancelled)
+        from another shell while it is routing.
+        """
+        return self.journal.refresh()
 
     # ------------------------------------------------------------------
     # paths
@@ -225,6 +242,10 @@ class JobStore:
     # ------------------------------------------------------------------
     def commit(self, event: Dict[str, Any]) -> JobRecord:
         """Durably record one event and apply it."""
+        if self.readonly:
+            raise ServiceError(
+                f"job store {self.root!r} was opened read-only"
+            )
         self.journal.append(event)
         record = self._apply(event)
         self._write_snapshot(record)
@@ -353,18 +374,23 @@ class JobStore:
         queued, so an acknowledged id is never lost and an unacked one
         is still routed rather than dropped.
         """
-        job_id = self.next_job_id()
-        os.makedirs(self.job_dir(job_id), exist_ok=True)
-        _atomic_write_json(self.request_path(job_id), request)
-        return self.commit(
-            {
-                "type": "submitted",
-                "job": job_id,
-                "tenant": tenant,
-                "fingerprint": fingerprint,
-                "at": _now(),
-            }
-        )
+        with self.journal.lock():
+            # id allocation races with other submitting processes: hold
+            # the journal lock across resync + scan + request write +
+            # append so two submitters can never mint the same id
+            self.refresh()
+            job_id = self.next_job_id()
+            os.makedirs(self.job_dir(job_id), exist_ok=True)
+            _atomic_write_json(self.request_path(job_id), request)
+            return self.commit(
+                {
+                    "type": "submitted",
+                    "job": job_id,
+                    "tenant": tenant,
+                    "fingerprint": fingerprint,
+                    "at": _now(),
+                }
+            )
 
     def load_request(self, job_id: str) -> Dict[str, Any]:
         path = self.request_path(job_id)
@@ -534,6 +560,12 @@ class JobStore:
     def reconcile(self) -> Dict[str, List[str]]:
         """Startup scan: adopt orphans, requeue interrupted jobs.
 
+        Recovery assumes it is the only live incarnation: requeueing a
+        ``running`` job is only correct when its worker is dead.  Only
+        the serving/recovering open runs this — inspection opens are
+        read-only and submit/cancel opens skip recovery (they append
+        under the journal lock instead).
+
         Returns a summary of what happened, keyed by action:
 
         * ``adopted`` — job dirs with a request but no journal history
@@ -549,6 +581,10 @@ class JobStore:
           damaged (e.g. the ``corrupt_job_state`` fault) rewritten
           from the journal's truth.
         """
+        if self.readonly:
+            raise ServiceError(
+                f"cannot reconcile read-only job store {self.root!r}"
+            )
         summary: Dict[str, List[str]] = {
             "adopted": [],
             "requeued": [],

@@ -21,9 +21,17 @@ One :class:`JobSupervisor` owns the claim/run/finish loop around a
   :class:`~repro.errors.ReproError`) in the engine's seeded-backoff
   :class:`~repro.engine.retry.RetryPolicy` — each attempt is journaled
   as a requeue + reclaim, so the attempt history survives crashes too;
-* **heartbeats** are stamped from the engine's live trace stream;
-  :meth:`reclaim_stale` re-queues running jobs whose owner is dead or
-  silent (stale-job takeover after a SIGKILL);
+* **heartbeats** are stamped by a timer thread for as long as an
+  attempt is routing (so a single pass longer than the staleness
+  threshold never makes a healthy job look abandoned), plus from the
+  engine's live trace stream; :meth:`reclaim_stale` re-queues running
+  jobs whose owner is dead or silent (stale-job takeover after a
+  SIGKILL);
+* **fencing**: every claim carries the journaled ``attempts`` count as
+  its token; terminal transitions are applied only if the job's live
+  ``attempts`` still matches, so a superseded worker (its job taken
+  over while it was wedged) has its late completion discarded instead
+  of stomping the new owner's state;
 * **drain** (:meth:`request_drain`, wired to SIGTERM by ``serve``)
   lets in-flight jobs finish and stops claiming new ones.
 
@@ -38,6 +46,7 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Any, Dict, Optional
 
@@ -47,6 +56,7 @@ from ..engine.retry import RetryPolicy
 from ..errors import (
     CheckpointError,
     EngineTimeoutError,
+    JournalError,
     ReproError,
     RoutingError,
     ValidationError,
@@ -113,6 +123,8 @@ class JobSupervisor:
         with self.lock:
             if self.draining:
                 return None
+            # see submissions/cancellations from other processes
+            self.store.refresh()
             for record in self.store.records():
                 if record.state != "queued":
                     continue
@@ -132,6 +144,7 @@ class JobSupervisor:
         """
         taken = 0
         with self.lock:
+            self.store.refresh()
             for record in self.store.records():
                 if record.state not in ("running", "checkpointed"):
                     continue
@@ -161,42 +174,102 @@ class JobSupervisor:
     # ------------------------------------------------------------------
     # running one job
     # ------------------------------------------------------------------
+    def _superseded(
+        self, job_id: str, token: Optional[int]
+    ) -> Optional[JobRecord]:
+        """The live record iff this worker's claim is no longer current.
+
+        ``token`` is the journaled ``attempts`` count the worker saw at
+        claim time.  If the job has since been requeued (stale
+        takeover), reclaimed (``attempts`` moved on), or reached a
+        terminal state, the caller's completion is stale and must be
+        discarded.  Returns ``None`` while the claim is still live.
+        Call under :attr:`lock`.
+        """
+        if token is None:
+            return None
+        current = self.store.jobs.get(job_id)
+        if current is None:
+            return None
+        if (
+            current.terminal
+            or current.attempts != token
+            or current.state not in ("running", "checkpointed")
+        ):
+            return current
+        return None
+
+    def _fail_fenced(
+        self, job_id: str, token: Optional[int], error: str
+    ) -> JobRecord:
+        """``finish_failed`` unless a newer claim owns the job."""
+        with self.lock:
+            stale = self._superseded(job_id, token)
+            if stale is not None:
+                return stale
+            return self.store.finish_failed(job_id, error)
+
     def run_job(self, record: JobRecord, worker: str) -> JobRecord:
         """Drive one claimed job to a terminal state.
 
         Infrastructure failures retry with seeded backoff (each attempt
         journaled); semantic failures — unroutable, timeout, failed
-        verification — terminate the job as ``failed`` with the cause
-        recorded.  :class:`~repro.engine.faults.SimulatedCrash` is a
+        verification, an unreadable request, a damaged artifact mid-
+        route — terminate the job as ``failed`` with the cause
+        recorded.  Only :class:`~repro.errors.JournalError` escapes (a
+        broken journal means no transition can be recorded at all), and
+        :class:`~repro.engine.faults.SimulatedCrash` is a
         ``BaseException`` and deliberately escapes: it *is* the crash
         the harness asked for.
         """
         job_id = record.job_id
         rng = self.retry_policy.rng()
+        token = record.attempts
         for attempt in range(self.retry_policy.max_attempts):
             try:
                 return self._attempt(record, worker)
-            except ReproError:
+            except JournalError:
+                # the store itself is damaged: there is no safe way to
+                # journal a failure, so this must surface loudly
                 raise
+            except ReproError as exc:
+                # a deterministic, job-scoped failure (unreadable
+                # request.json, damaged checkpoint, ...): fail the job
+                # instead of letting it kill the worker loop
+                return self._fail_fenced(
+                    job_id, token, f"{type(exc).__name__}: {exc}"
+                )
             except Exception as exc:  # infrastructure crash: retry
                 if attempt + 1 >= self.retry_policy.max_attempts:
-                    with self.lock:
-                        return self.store.finish_failed(
-                            job_id,
-                            f"crashed {attempt + 1} time(s); last: "
-                            f"{exc!r}",
-                        )
+                    return self._fail_fenced(
+                        job_id,
+                        token,
+                        f"crashed {attempt + 1} time(s); last: "
+                        f"{exc!r}",
+                    )
                 time.sleep(self.retry_policy.delay(attempt, rng))
                 with self.lock:
+                    if self._superseded(job_id, token) is not None:
+                        # taken over while we backed off — the new
+                        # owner runs it now
+                        return self.store.get(job_id)
                     self.store.requeue(job_id, f"retry:{exc!r}"[:120])
                     record = self.store.claim(job_id, worker)
+                    token = record.attempts
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _attempt(self, record: JobRecord, worker: str) -> JobRecord:
         store = self.store
         job_id = record.job_id
+        # the fencing token: this claim's journaled attempt count.  The
+        # record object is live (shared with the store), so the value
+        # must be captured now, before any takeover could bump it.
+        token = record.attempts
         if record.cancel_requested:
             with self.lock:
+                stale = self._superseded(job_id, token)
+                if stale is not None:
+                    return stale
                 return store.transition(job_id, "cancelled")
 
         request = store.load_request(job_id)
@@ -207,7 +280,9 @@ class JobSupervisor:
         family = _FAMILIES[request.get("family", "xc3000")]
         engine = request.get("engine") or self.engine
 
-        adopted = self._adopt_existing_result(record, circuit, config, family)
+        adopted = self._adopt_existing_result(
+            record, circuit, config, family, token
+        )
         if adopted is not None:
             return adopted
 
@@ -228,43 +303,45 @@ class JobSupervisor:
                 record = store.transition(
                     job_id, "running", resumes=record.resumes + 1
                 )
-        listener = self._listener(job_id, worker)
+        listener = self._listener(job_id, worker, token)
         width = request.get("width")
         trace = None
         try:
-            if width is not None:
-                arch = family(circuit.rows, circuit.cols, width)
-                session = RoutingSession(
-                    arch,
-                    config,
-                    engine=engine,
-                    faults=self.faults,
-                    on_trace_event=listener,
-                )
-                with session:
-                    result = session.route(
-                        circuit, checkpoint=checkpoint, resume=resume
+            with self._heartbeat_pump(job_id, worker):
+                if width is not None:
+                    arch = family(circuit.rows, circuit.cols, width)
+                    session = RoutingSession(
+                        arch,
+                        config,
+                        engine=engine,
+                        faults=self.faults,
+                        on_trace_event=listener,
                     )
-                trace = session.trace
-            else:
-                width_found, result = minimum_channel_width(
-                    circuit,
-                    family,
-                    config,
-                    w_max=request.get("w_max", 40),
-                    engine=engine,
-                    checkpoint=checkpoint,
-                    # a missing resume file just means "start fresh"
-                    resume=checkpoint,
-                    on_trace_event=listener,
-                )
+                    with session:
+                        result = session.route(
+                            circuit, checkpoint=checkpoint, resume=resume
+                        )
+                    trace = session.trace
+                else:
+                    width_found, result = minimum_channel_width(
+                        circuit,
+                        family,
+                        config,
+                        w_max=request.get("w_max", 40),
+                        engine=engine,
+                        checkpoint=checkpoint,
+                        # a missing resume file just means "start fresh"
+                        resume=checkpoint,
+                        on_trace_event=listener,
+                    )
         except (RoutingError, EngineTimeoutError, ValidationError) as exc:
-            with self.lock:
-                return store.finish_failed(
-                    job_id, f"{type(exc).__name__}: {exc}"
-                )
+            return self._fail_fenced(
+                job_id, token, f"{type(exc).__name__}: {exc}"
+            )
 
-        return self._finish(record, circuit, config, family, result, trace)
+        return self._finish(
+            record, circuit, config, family, result, trace, token
+        )
 
     def _job_config(self, request: Dict[str, Any]) -> RouterConfig:
         """The request's config with its deadline budgets applied."""
@@ -279,7 +356,8 @@ class JobSupervisor:
         return replace(config, **overrides) if overrides else config
 
     def _adopt_existing_result(
-        self, record: JobRecord, circuit, config, family
+        self, record: JobRecord, circuit, config, family,
+        token: Optional[int] = None,
     ) -> Optional[JobRecord]:
         """Serve a result that already exists instead of re-routing.
 
@@ -313,6 +391,9 @@ class JobSupervisor:
         if source_job is not None:
             store.write_result(job_id, result_to_dict(result))
         with self.lock:
+            stale = self._superseded(job_id, token)
+            if stale is not None:
+                return stale
             return store.finish_done(
                 job_id,
                 channel_width=result.channel_width,
@@ -323,7 +404,8 @@ class JobSupervisor:
             )
 
     def _finish(
-        self, record: JobRecord, circuit, config, family, result, trace
+        self, record: JobRecord, circuit, config, family, result, trace,
+        token: Optional[int] = None,
     ) -> JobRecord:
         """Verify, persist and journal a freshly routed result."""
         store = self.store
@@ -331,19 +413,24 @@ class JobSupervisor:
         arch = family(circuit.rows, circuit.cols, result.channel_width)
         report = verify_result(result, circuit, arch, config, level="full")
         if not report.ok:
-            with self.lock:
-                return store.finish_failed(
-                    job_id,
-                    f"result failed verification: "
-                    f"{report.errors[0].render()}",
-                )
-        store.write_result(job_id, result_to_dict(result))
-        if trace is not None:
-            try:
-                trace.write(store.trace_path(job_id))
-            except OSError:  # pragma: no cover - trace is best effort
-                pass
+            return self._fail_fenced(
+                job_id,
+                token,
+                f"result failed verification: "
+                f"{report.errors[0].render()}",
+            )
         with self.lock:
+            stale = self._superseded(job_id, token)
+            if stale is not None:
+                # a takeover claimed this job while we routed: the new
+                # owner's outcome wins, our completion is discarded
+                return stale
+            store.write_result(job_id, result_to_dict(result))
+            if trace is not None:
+                try:
+                    trace.write(store.trace_path(job_id))
+                except OSError:  # pragma: no cover - best effort
+                    pass
             return store.finish_done(
                 job_id,
                 channel_width=result.channel_width,
@@ -355,7 +442,39 @@ class JobSupervisor:
     # ------------------------------------------------------------------
     # live progress
     # ------------------------------------------------------------------
-    def _listener(self, job_id: str, worker: str):
+    @contextmanager
+    def _heartbeat_pump(self, job_id: str, worker: str,
+                        interval: Optional[float] = None):
+        """Stamp liveness on a timer for as long as the body runs.
+
+        Trace events only fire at pass/checkpoint boundaries, so a
+        single routing pass longer than ``stale_after_s`` would
+        otherwise make a perfectly healthy in-process job look stale
+        and get taken over mid-route.  The pump is independent of
+        engine progress: while the worker thread is inside the body,
+        the heartbeat stays fresh.
+        """
+        if interval is None:
+            interval = max(0.05, min(1.0, self.stale_after_s / 4.0))
+        stop = threading.Event()
+
+        def pump() -> None:
+            while not stop.wait(interval):
+                self.store.heartbeat(job_id, worker)
+
+        thread = threading.Thread(
+            target=pump, name=f"heartbeat-{job_id}", daemon=True
+        )
+        self.store.heartbeat(job_id, worker)
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join(timeout=interval + 1.0)
+
+    def _listener(self, job_id: str, worker: str,
+                  token: Optional[int] = None):
         """Trace-event sink: stream to log.jsonl, heartbeat, journal
         the running -> checkpointed transition on the first checkpoint."""
         store = self.store
@@ -371,7 +490,11 @@ class JobSupervisor:
             if event.get("type") == "checkpoint":
                 with self.lock:
                     current = store.jobs.get(job_id)
-                    if current is not None and current.state == "running":
+                    if (
+                        current is not None
+                        and current.state == "running"
+                        and (token is None or current.attempts == token)
+                    ):
                         store.transition(job_id, "checkpointed")
 
         return on_event

@@ -26,6 +26,7 @@ from repro.errors import (
     AdmissionError,
     JobError,
     JournalError,
+    ServiceError,
     ValidationError,
 )
 from repro.fpga import circuit_spec, scaled_spec, synthesize_circuit
@@ -784,3 +785,269 @@ class TestCLI:
         assert len(lines) == 2
         for line in lines:
             assert "state=done" in line and "verified=True" in line
+
+
+# ----------------------------------------------------------------------
+# multi-process safety: journal locking, read-only and no-recover opens
+# ----------------------------------------------------------------------
+class TestMultiProcess:
+    def test_interleaved_appends_keep_the_chain_dense(self, tmp_path):
+        # two Journal instances model two processes sharing one store:
+        # each append resyncs under the flock, so concurrent writers
+        # can never double-allocate a sequence number
+        path = str(tmp_path / "j.jsonl")
+        a = Journal(path)
+        b = Journal(path)
+        a.append({"type": "submitted", "job": "job-000001"})
+        b.append({"type": "submitted", "job": "job-000002"})
+        a.append({"type": "transition", "job": "job-000001",
+                  "to": "running"})
+        b.append({"type": "transition", "job": "job-000002",
+                  "to": "running"})
+        # read_journal raises JournalError on any seq gap or repeat
+        events, durable = read_journal(path)
+        assert len(events) == 4
+        assert durable == os.path.getsize(path)
+        # a's own appends resynced over b's; only b's last is unseen
+        assert a.next_seq == 4
+        assert a.refresh() == 1
+        assert a.next_seq == b.next_seq == 5
+
+    def test_refresh_folds_foreign_submissions(self, tmp_path):
+        root = str(tmp_path / "store")
+        a = JobStore(root)
+        b = JobStore(root)
+        ra = a.create_job({}, fingerprint="fa", tenant="t")
+        assert b.refresh() == 1
+        assert b.get(ra.job_id).state == "queued"
+        rb = b.create_job({}, fingerprint="fb", tenant="t")
+        assert rb.job_id != ra.job_id  # id allocation saw the foreign job
+        a.refresh()
+        assert a.get(rb.job_id).state == "queued"
+
+    def test_readonly_open_never_writes(self, small_circuit, tmp_path):
+        root = str(tmp_path / "store")
+        service = RoutingService(root)
+        record = service.submit(small_circuit, config=KMB, width=3)
+        service.supervisor.claim_next("w0")  # live server owns the job
+        ro = RoutingService(root, readonly=True)
+        # inspection sees the claim but must not requeue it
+        assert ro.status(record.job_id)["state"] == "running"
+        assert ro.recovered == {}
+        with pytest.raises(ServiceError):
+            ro.store.commit(
+                {"type": "cancel_requested", "job": record.job_id}
+            )
+        with pytest.raises(ServiceError):
+            ro.store.reconcile()
+        assert service.status(record.job_id)["state"] == "running"
+
+    def test_no_recover_open_leaves_running_jobs_alone(
+        self, small_circuit, tmp_path
+    ):
+        root = str(tmp_path / "store")
+        service = RoutingService(root)
+        record = service.submit(small_circuit, config=KMB, width=3)
+        service.supervisor.claim_next("w0")
+        client = RoutingService(root, recover=False)
+        assert client.recovered == {}
+        assert client.status(record.job_id)["state"] == "running"
+        # submitting through the second opener is safe and visible to
+        # the first at its next poll
+        dup = client.submit(small_circuit, config=KMB, width=4)
+        assert service.status(dup.job_id)["state"] == "queued"
+
+    def test_server_sees_cross_process_submit_and_cancel(
+        self, small_circuit, tmp_path
+    ):
+        root = str(tmp_path / "store")
+        server = RoutingService(root)
+        client = RoutingService(root, recover=False)
+        record = client.submit(small_circuit, config=KMB, width=3)
+        client.cancel(record.job_id)
+        # the server folds both foreign events at its next claim poll
+        assert server.run_until_idle() == 0
+        assert server.status(record.job_id)["state"] == "cancelled"
+
+
+# ----------------------------------------------------------------------
+# worker robustness: job-scoped failures never kill the pool
+# ----------------------------------------------------------------------
+class TestWorkerRobustness:
+    def test_unreadable_request_fails_the_job_not_the_worker(
+        self, small_circuit, tmp_path
+    ):
+        service = RoutingService(str(tmp_path))
+        record = service.submit(small_circuit, config=KMB, width=3)
+        with open(
+            service.store.request_path(record.job_id), "w"
+        ) as fh:
+            fh.write("not json {")
+        assert service.run_until_idle() == 1  # no exception escapes
+        status = service.status(record.job_id)
+        assert status["state"] == "failed"
+        assert "ServiceError" in status["error"]
+
+    def test_poison_job_does_not_stall_the_queue(
+        self, small_circuit, tmp_path
+    ):
+        service = RoutingService(str(tmp_path))
+        bad = service.submit(small_circuit, config=KMB, width=3)
+        good = service.submit(small_circuit, config=KMB, width=4)
+        with open(service.store.request_path(bad.job_id), "w") as fh:
+            fh.write("garbage")
+        processed = service.serve(
+            workers=1, exit_when_idle=True,
+            install_signal_handlers=False,
+        )
+        assert processed == 2
+        assert service.status(bad.job_id)["state"] == "failed"
+        assert service.status(good.job_id)["state"] == "done"
+
+    def test_escaped_exception_does_not_kill_worker_thread(
+        self, small_circuit, tmp_path, monkeypatch
+    ):
+        # even an error run_job cannot handle (a damaged store raising
+        # JournalError mid-finish) must not take down the worker thread
+        # and with it the whole pool
+        service = RoutingService(str(tmp_path))
+        a = service.submit(small_circuit, config=KMB, width=3)
+        b = service.submit(small_circuit, config=KMB, width=4)
+        original = type(service.supervisor).run_job
+        blown = []
+
+        def explosive(self, record, worker):
+            if record.job_id == a.job_id and not blown:
+                blown.append(1)
+                raise JournalError("store damaged mid-finish")
+            return original(self, record, worker)
+
+        monkeypatch.setattr(
+            type(service.supervisor), "run_job", explosive
+        )
+        processed = service.serve(
+            workers=1, exit_when_idle=True,
+            install_signal_handlers=False,
+        )
+        assert processed == 2  # the thread survived job a's explosion
+        assert service.status(b.job_id)["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# ownership fencing and timer heartbeats
+# ----------------------------------------------------------------------
+class TestFencing:
+    def test_superseded_completion_is_discarded(
+        self, small_circuit, tmp_path, reference
+    ):
+        from repro.fpga.architecture import xc3000
+
+        service = RoutingService(str(tmp_path))
+        record = service.submit(small_circuit, config=KMB, width=3)
+        stale_claim = service.supervisor.claim_next("w0")
+        token = stale_claim.attempts
+        # stale takeover: the job is requeued and claimed by w1
+        service.store.requeue(record.job_id, "stale_takeover")
+        service.supervisor.claim_next("w1")
+        # the original worker limps back with a finished (verified!)
+        # result — it must be discarded, not journaled over w1's claim
+        out = service.supervisor._finish(
+            stale_claim, small_circuit, KMB, xc3000, reference, None,
+            token,
+        )
+        assert out.state == "running" and out.attempts == 2
+        assert service.status(record.job_id)["state"] == "running"
+        assert not os.path.exists(
+            service.store.result_path(record.job_id)
+        )
+        # the live claim still finishes normally
+        service.supervisor.run_job(
+            service.store.get(record.job_id), "w1"
+        )
+        status = service.status(record.job_id)
+        assert status["state"] == "done" and status["attempts"] == 2
+
+    def test_superseded_failure_is_discarded(
+        self, small_circuit, tmp_path
+    ):
+        service = RoutingService(str(tmp_path))
+        record = service.submit(small_circuit, config=KMB, width=3)
+        stale_claim = service.supervisor.claim_next("w0")
+        token = stale_claim.attempts
+        service.store.requeue(record.job_id, "stale_takeover")
+        service.supervisor.claim_next("w1")
+        out = service.supervisor._fail_fenced(
+            record.job_id, token, "late crash report"
+        )
+        assert out.state == "running"  # w1's claim, not "failed"
+        assert service.status(record.job_id)["state"] == "running"
+
+    def test_heartbeat_pump_keeps_long_route_fresh(
+        self, small_circuit, tmp_path
+    ):
+        # a single routing pass longer than stale_after_s used to look
+        # abandoned (heartbeats only came from trace events) and get
+        # taken over mid-route
+        service = RoutingService(str(tmp_path), stale_after_s=0.4)
+        record = service.submit(small_circuit, config=KMB, width=3)
+        service.supervisor.claim_next("w0")
+        with service.supervisor._heartbeat_pump(
+            record.job_id, "w0", interval=0.05
+        ):
+            time.sleep(0.6)  # no trace events in this window
+            assert not service.store.stale(record.job_id, 0.4)
+            assert service.supervisor.reclaim_stale() == 0
+        time.sleep(0.6)  # pump stopped: silence is stale again
+        assert service.store.stale(record.job_id, 0.4)
+
+
+# ----------------------------------------------------------------------
+# job ids past six digits
+# ----------------------------------------------------------------------
+class TestJobIdWidth:
+    def test_job_ids_widen_past_six_digits(self, tmp_path):
+        store = JobStore(str(tmp_path / "store"))
+        os.makedirs(store.job_dir("job-999999"))
+        assert store.next_job_id() == "job-1000000"
+        # the wider id must round-trip through the scan instead of
+        # being re-minted (which silently overwrote the existing job)
+        os.makedirs(store.job_dir("job-1000000"))
+        assert store.next_job_id() == "job-1000001"
+
+
+# ----------------------------------------------------------------------
+# submit-time dedupe re-verification
+# ----------------------------------------------------------------------
+class TestSubmitDedupeVerification:
+    def test_damaged_donor_result_falls_back_to_queue(
+        self, small_circuit, tmp_path, reference
+    ):
+        service = RoutingService(str(tmp_path))
+        first = service.submit(small_circuit, config=KMB, width=3)
+        service.run_until_idle()
+        with open(
+            service.store.result_path(first.job_id), "w"
+        ) as fh:
+            fh.write("{ damaged")
+        again = service.submit(small_circuit, config=KMB, width=3)
+        assert again.state == "queued"  # no error, no bogus adoption
+        service.run_until_idle()
+        assert service.status(again.job_id)["state"] == "done"
+        _assert_routes_identical(service.result(again.job_id), reference)
+
+    def test_tampered_donor_result_is_reverified_at_submit(
+        self, small_circuit, tmp_path
+    ):
+        service = RoutingService(str(tmp_path))
+        first = service.submit(small_circuit, config=KMB, width=3)
+        service.run_until_idle()
+        path = service.store.result_path(first.job_id)
+        with open(path) as fh:
+            doc = json.load(fh)
+        # parses fine, but the checker recomputes wirelength from the
+        # node structure and catches the lie
+        doc["routes"][0]["wirelength"] = 0.5
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        again = service.submit(small_circuit, config=KMB, width=3)
+        assert again.state == "queued"
