@@ -22,6 +22,7 @@ root-to-sink accumulation) algorithm in O(|T|).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -32,13 +33,43 @@ from ..steiner.tree import RoutingTree
 
 Node = Hashable
 
+_RC_FIELDS = (
+    "unit_resistance",
+    "unit_capacitance",
+    "driver_resistance",
+    "sink_load",
+)
+
+
+def _check_rc(rc: "RCParameters") -> None:
+    """Reject unusable parasitics with a :class:`GraphError`.
+
+    Every field must be a finite, non-negative real number.  NaN passes
+    a plain ``< 0`` test and silently poisons every downstream delay;
+    non-numeric values would surface as ``TypeError`` (or, divided
+    through a ratio, ``ZeroDivisionError``) deep inside the two-pass
+    accumulation — both become a structured error here instead.
+    """
+    for name in _RC_FIELDS:
+        value = getattr(rc, name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise GraphError(
+                f"{name} must be a real number, got {value!r}"
+            )
+        if not math.isfinite(value):
+            raise GraphError(f"{name} must be finite, got {value!r}")
+        if value < 0:
+            raise GraphError(f"{name} must be >= 0, got {value!r}")
+
 
 @dataclass(frozen=True)
 class RCParameters:
     """Per-unit-length parasitics plus boundary loads.
 
     Defaults are unit-normalized (delay in arbitrary units);
-    technology tuning is a matter of scaling these four knobs.
+    technology tuning is a matter of scaling these four knobs.  All
+    four must be finite non-negative reals; anything else raises
+    :class:`~repro.errors.GraphError` at construction.
     """
 
     unit_resistance: float = 1.0
@@ -47,14 +78,7 @@ class RCParameters:
     sink_load: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in (
-            "unit_resistance",
-            "unit_capacitance",
-            "driver_resistance",
-            "sink_load",
-        ):
-            if getattr(self, name) < 0:
-                raise GraphError(f"{name} must be >= 0")
+        _check_rc(self)
 
 
 def elmore_delays(
@@ -66,8 +90,15 @@ def elmore_delays(
 
     ``tree`` must span the net (as every heuristic's output does).
     Returns the delay at each node; sinks carry their extra load.
+    Degenerate inputs are well-defined: a single-sink net is the
+    two-pass algorithm on a path, a zero-length or zero-RC segment
+    contributes nothing, and an all-zero :class:`RCParameters` yields
+    zero delay everywhere.  A hand-built ``rc`` that bypassed
+    validation (or carries NaN) is re-checked here and raises
+    :class:`~repro.errors.GraphError`, never an arithmetic error.
     """
     rc = rc or RCParameters()
+    _check_rc(rc)
     root = net.source
     if not tree.has_node(root):
         raise GraphError(f"source {root!r} not in tree")
@@ -119,6 +150,11 @@ def max_sink_delay(
 ) -> float:
     """Worst Elmore delay over the net's sinks (critical-path metric)."""
     delays = elmore_delays(tree, net, rc)
+    missing = [s for s in net.sinks if s not in delays]
+    if missing:
+        raise GraphError(
+            f"sink {missing[0]!r} of net {net.name!r} not in tree"
+        )
     return max(delays[s] for s in net.sinks)
 
 

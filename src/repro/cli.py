@@ -56,7 +56,7 @@ from .fpga import (
     xc3000,
     xc4000,
 )
-from .router import ALGORITHMS, RouterConfig, minimum_channel_width
+from .router import ALGORITHMS, MODES, RouterConfig, minimum_channel_width
 
 
 def _family(spec):
@@ -127,6 +127,21 @@ def _add_engine_options(
             "results are bit-identical either way"
         ),
     )
+    group.add_argument(
+        "--mode", choices=MODES, default="paper",
+        help=(
+            "routing strategy (RouterConfig.mode): the paper's "
+            "rip-up-and-retry loop, or PathFinder negotiated "
+            "congestion (see docs/pathfinder.md)"
+        ),
+    )
+    group.add_argument(
+        "--timing", action="store_true",
+        help=(
+            "timing-driven negotiation: blend Elmore slack ratios "
+            "into the negotiated costs (requires --mode negotiate)"
+        ),
+    )
     group.add_argument("--trace", metavar="PATH", help=trace_help)
     group.add_argument(
         "--trace-file", dest="trace", metavar="PATH", help=argparse.SUPPRESS,
@@ -171,6 +186,11 @@ def _config(args, algorithm: str) -> RouterConfig:
     graph_backend = getattr(args, "graph_backend", None)
     if graph_backend is not None:
         extra["graph_backend"] = graph_backend
+    mode = getattr(args, "mode", None)
+    if mode is not None:
+        extra["mode"] = mode
+    if getattr(args, "timing", False):
+        extra["timing"] = True
     return RouterConfig(algorithm=algorithm, **extra)
 
 
@@ -494,7 +514,13 @@ def _cmd_width(args) -> int:
     spec = scaled_spec(circuit_spec(args.circuit), args.fraction)
     circuit = synthesize_circuit(spec, seed=args.seed)
     rows = []
-    for algo in args.algorithms:
+    algorithms = args.algorithms
+    if getattr(args, "mode", None) == "negotiate":
+        # negotiation replaces the per-net algorithm entirely — sweeping
+        # the algorithm list would rerun the identical negotiation under
+        # misleading labels
+        algorithms = ["negotiate"]
+    for algo in algorithms:
         trace = args.trace
         checkpoint = args.checkpoint
         resume = args.resume
@@ -507,10 +533,13 @@ def _cmd_width(args) -> int:
                 checkpoint = f"{checkpoint}.{algo}.json"
             if resume:
                 resume = f"{resume}.{algo}.json"
+        # in negotiate mode the row label is the mode; the config still
+        # needs a valid (ignored) algorithm field
+        cfg_algo = args.algorithms[0] if algo == "negotiate" else algo
         width, result = minimum_channel_width(
             circuit,
             _family(spec),
-            _config(args, algo),
+            _config(args, cfg_algo),
             engine=args.engine,
             trace=trace,
             checkpoint=checkpoint,

@@ -70,6 +70,16 @@ def config_fingerprint(cfg) -> Dict[str, Any]:
         "congestion_alpha": cfg.congestion_alpha,
         "steiner_candidate_depth": cfg.steiner_candidate_depth,
         "max_steiner_nodes": cfg.max_steiner_nodes,
+        # PathFinder knobs: a paper-mode checkpoint must never resume a
+        # negotiate run (or vice versa), and every negotiation constant
+        # shapes the history table the payload restores
+        "mode": cfg.mode,
+        "timing": cfg.timing,
+        "negotiate_iterations": cfg.negotiate_iterations,
+        "negotiate_present_factor": cfg.negotiate_present_factor,
+        "negotiate_growth": cfg.negotiate_growth,
+        "negotiate_history_gain": cfg.negotiate_history_gain,
+        "negotiate_stall": cfg.negotiate_stall,
     }
 
 

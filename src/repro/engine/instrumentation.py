@@ -22,16 +22,18 @@ from typing import IO, Callable, Dict, List, Optional, Union
 from ..fpga.routing_graph import RoutingResourceGraph
 
 #: current trace document schema identifier
-TRACE_SCHEMA = "repro.engine/trace-v3"
+TRACE_SCHEMA = "repro.engine/trace-v4"
 
 #: schemas :func:`load_trace` accepts (v2 added events/retries/resume
 #: fields without changing any v1 field; v3 added the optional per-pass
 #: ``verify`` block, the ``verify`` config field and the verify/repair/
-#: quarantine event types — all additive, so older documents still
-#: render)
+#: quarantine event types; v4 added the optional per-pass
+#: ``negotiation`` block plus the ``mode``/``timing`` config fields for
+#: PathFinder runs — all additive, so older documents still render)
 ACCEPTED_TRACE_SCHEMAS = (
     "repro.engine/trace-v1",
     "repro.engine/trace-v2",
+    "repro.engine/trace-v3",
     TRACE_SCHEMA,
 )
 
@@ -94,6 +96,10 @@ class PassRecord:
     #: per-pass verification summary (verify="pass" only):
     #: {"checked", "violations", "repaired", "quarantined"}
     verify: Optional[Dict[str, int]] = None
+    #: per-iteration negotiation summary (mode="negotiate" only):
+    #: {"iteration", "overuse", "overused_nodes", "history_norm",
+    #:  "critical_path_delay"} — see docs/pathfinder.md
+    negotiation: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         doc = {
@@ -116,6 +122,8 @@ class PassRecord:
         }
         if self.verify is not None:
             doc["verify"] = dict(self.verify)
+        if self.negotiation is not None:
+            doc["negotiation"] = dict(self.negotiation)
         return doc
 
 

@@ -64,8 +64,15 @@ from ..graph.shortest_paths import (
 )
 from ..router.config import RouterConfig
 from ..router.congestion import CongestionModel
+from ..router.negotiation import (
+    NEGOTIATE_ALGORITHM,
+    NegotiationState,
+    build_route,
+    route_connections,
+)
 from ..router.result import NetRoute, RoutingResult, measure_route
 from ..router.router import FPGARouter
+from ..router.timing import SlackTable
 from ..validate import check_net_route, validate_circuit, verify_result
 from .batching import DEFAULT_BATCH_MARGIN, partition_batches
 from .checkpoint import (
@@ -76,7 +83,7 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from .executors import ENGINES, ExecutorSupervisor
+from .executors import ENGINES, ExecutorSupervisor, default_workers
 from .faults import FaultPlan
 from .instrumentation import (
     PassRecord,
@@ -84,7 +91,14 @@ from .instrumentation import (
     congestion_histogram,
 )
 from .retry import RetryPolicy, map_with_recovery
-from .worker import INFEASIBLE, NetTask, make_budget, run_net_task
+from .worker import (
+    INFEASIBLE,
+    NegotiationTask,
+    NetTask,
+    make_budget,
+    run_negotiation_task,
+    run_net_task,
+)
 
 
 class RoutingSession:
@@ -222,6 +236,8 @@ class RoutingSession:
                 "search": cfg.search,
                 "graph_backend": cfg.graph_backend,
                 "verify": cfg.verify,
+                "mode": cfg.mode,
+                "timing": cfg.timing,
             },
         )
         recorder.listener = self.on_trace_event
@@ -239,6 +255,10 @@ class RoutingSession:
                     self.engine,
                     self.max_workers,
                     on_event=self._record_dispatch_event,
+                )
+            if cfg.mode == "negotiate":
+                return self._negotiate_pathfinder(
+                    circuit, recorder, counters, checkpoint, resume
                 )
             return self._negotiate(
                 circuit, recorder, counters, checkpoint, resume
@@ -304,6 +324,7 @@ class RoutingSession:
         order: Sequence[PlacedNet],
         last_failures: Optional[int],
         stall: int,
+        extra: Optional[Dict[str, object]] = None,
     ) -> None:
         state = {
             "circuit": circuit_fingerprint(circuit),
@@ -319,6 +340,8 @@ class RoutingSession:
             "passes": recorder.pass_dicts(),
             "events": list(recorder.events),
         }
+        if extra:
+            state.update(extra)
         save_checkpoint(path, state, faults=self.faults)
         recorder.record_event(
             {
@@ -534,6 +557,410 @@ class RoutingSession:
         )
 
     # ------------------------------------------------------------------
+    # PathFinder negotiated congestion (RouterConfig.mode="negotiate")
+    # ------------------------------------------------------------------
+    def _negotiate_pathfinder(
+        self,
+        circuit: PlacedCircuit,
+        recorder: TraceRecorder,
+        counters: DijkstraCounters,
+        checkpoint: Optional[str],
+        resume: Optional[str],
+    ) -> RoutingResult:
+        """Rip-up-and-reroute every net per iteration until zero overuse.
+
+        Unlike the paper loop, the graph is never committed to: every
+        net stays routed in :class:`NegotiationState` (which owns
+        occupancy, history and the trees), junctions may be transiently
+        shared, and congestion pressure lives entirely in the state's
+        present × history cost factors — see ``docs/pathfinder.md``.
+        Serial execution reroutes one net at a time against live costs
+        (classic PathFinder, deterministic); parallel engines reroute
+        worker-pool-sized chunks against frozen cost snapshots.
+        """
+        cfg = self.config
+        router = self._router
+        rrg = RoutingResourceGraph(self.arch)
+        rrg.detach_all_pins()
+        policy = router.search_policy()
+        order = router._initial_order(circuit.nets)
+        nets = {n.name: n.to_graph_net() for n in circuit.nets}
+
+        state = NegotiationState(cfg)
+        start_iter = 1
+        stall = 0
+        best_overuse: Optional[int] = None
+        if resume is not None:
+            saved = self._load_resume_state(resume, circuit)
+            by_name = {n.name: n for n in circuit.nets}
+            try:
+                start_iter = int(saved["next_pass"])
+                stall = int(saved["stall"])
+                best_overuse = saved["last_failures"]
+                names = saved["order"]
+                payload = saved["negotiation"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"{resume}: malformed negotiation state "
+                    f"({type(exc).__name__}: {exc})"
+                ) from None
+            try:
+                order = [by_name[name] for name in names]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"{resume}: checkpoint orders unknown net {exc}"
+                ) from None
+            except TypeError:
+                raise CheckpointError(
+                    f"{resume}: 'order' is not a list of net names"
+                ) from None
+            if best_overuse is not None and not isinstance(
+                best_overuse, int
+            ):
+                raise CheckpointError(
+                    f"{resume}: 'last_failures' must be an int or null"
+                )
+            state = NegotiationState.from_payload(cfg, payload)
+            recorder.restored_passes = list(saved.get("passes", []))
+            recorder.events = list(saved.get("events", []))
+            recorder.resumed_from = {"path": resume, "next_pass": start_iter}
+
+        slack: Optional[SlackTable] = None
+        if cfg.timing and state.trees:
+            # resumed mid-negotiation: the table is a pure function of
+            # the checkpointed trees, so recomputing it here restores
+            # the exact criticalities the interrupted run would have
+            # carried into this iteration
+            slack = SlackTable.from_trees(
+                state.tree_graphs(rrg.base_weight), nets
+            )
+
+        mutations = [0]
+
+        def _mutation_hook(_version: int) -> None:
+            mutations[0] += 1
+
+        rrg.graph.add_version_hook(_mutation_hook)
+
+        for iteration in range(start_iter, cfg.negotiate_iterations + 1):
+            self._current_pass = iteration
+            started = time.perf_counter()
+            deadline = (
+                started + cfg.pass_timeout_s
+                if cfg.pass_timeout_s is not None
+                else None
+            )
+            counters_before = counters.snapshot()
+            mutations[0] = 0
+            state.begin_iteration(iteration)
+            # selective rip-up: after the first iteration only nets that
+            # currently touch an overused junction (or were never routed)
+            # are torn up — rerouting innocent nets churns new conflicts
+            # and is the classic PathFinder oscillation source.  The
+            # overusing set is a pure function of the (checkpointable)
+            # trees, so resume sees the same target list.
+            overusing = set(state.overusing_nets())
+            targets = [
+                placed for placed in order
+                if placed.name not in state.trees
+                or placed.name in overusing
+            ]
+            stats = {
+                "speculative": 0, "conflicts": 0, "serial": 0, "retries": 0,
+            }
+            batch_sizes: List[int] = []
+            if self._supervisor is None:
+                for placed in targets:
+                    self._check_deadline(
+                        deadline, iteration, cfg.pass_timeout_s, [], []
+                    )
+                    state.remove_tree(placed.name)
+                    out = self._negotiate_route_one(
+                        rrg, placed, state, policy, slack
+                    )
+                    if out is None:
+                        self._negotiation_infeasible(
+                            circuit, recorder, iteration, placed.name,
+                            checkpoint, state, order, best_overuse, stall,
+                        )
+                    state.add_tree(placed.name, *out)
+                    stats["serial"] += 1
+                    batch_sizes.append(1)
+            else:
+                self._negotiate_chunked(
+                    circuit, targets, order, rrg, state, slack, counters,
+                    stats, batch_sizes, iteration, deadline, checkpoint,
+                    best_overuse, stall, recorder,
+                )
+
+            overuse = state.total_overuse()
+            # a no-op at convergence (no junction is overused), so the
+            # monotonicity contract holds across the final iteration too
+            state.update_history()
+            if cfg.timing:
+                slack = SlackTable.from_trees(
+                    state.tree_graphs(rrg.base_weight), nets
+                )
+
+            counters_after = counters.snapshot()
+            record = PassRecord(
+                index=iteration,
+                seconds=time.perf_counter() - started,
+                batch_sizes=batch_sizes,
+                nets_routed=len(targets),
+                nets_failed=0,
+                failed_nets=[],
+                speculative_commits=stats["speculative"],
+                conflict_reroutes=stats["conflicts"],
+                serial_routes=stats["serial"],
+                dijkstra={
+                    k: counters_after[k] - counters_before.get(k, 0)
+                    for k in ("calls", "heap_pops", "relaxations", "pruned")
+                },
+                cache={"hits": 0, "misses": 0, "invalidations": 0},
+                graph_mutations=mutations[0],
+                congestion=congestion_histogram(rrg),
+                retries=stats["retries"],
+            )
+            record.negotiation = {
+                "iteration": iteration,
+                "overuse": overuse,
+                "overused_nodes": state.overused_nodes(),
+                "history_norm": round(state.history_norm(), 6),
+                "critical_path_delay": (
+                    slack.dmax if slack is not None else None
+                ),
+            }
+            recorder.record_pass(record)
+
+            if overuse == 0:
+                routes = [
+                    build_route(
+                        rrg, placed, state.trees[placed.name][1], policy
+                    )
+                    for placed in circuit.nets
+                ]
+                result = RoutingResult(
+                    circuit=circuit.name,
+                    channel_width=self.arch.channel_width,
+                    algorithm=NEGOTIATE_ALGORITHM,
+                    passes_used=iteration,
+                    routes=routes,
+                )
+                if cfg.verify != "off":
+                    self._verify_final(
+                        result, circuit, recorder, repaired=False
+                    )
+                recorder.finish(
+                    "complete",
+                    passes_used=iteration,
+                    total_wirelength=result.total_wirelength,
+                )
+                if checkpoint is not None and os.path.exists(checkpoint):
+                    os.unlink(checkpoint)
+                return result
+
+            # oscillation guard: abort when overuse stops improving
+            if best_overuse is None or overuse < best_overuse:
+                best_overuse = overuse
+                stall = 0
+            else:
+                stall += 1
+                if stall >= cfg.negotiate_stall:
+                    recorder.finish("unroutable", passes_used=iteration)
+                    if checkpoint is not None:
+                        self._write_checkpoint(
+                            checkpoint, circuit, recorder,
+                            outcome="unroutable", next_pass=None,
+                            order=order, last_failures=best_overuse,
+                            stall=stall,
+                            extra={"negotiation": state.to_payload()},
+                        )
+                    raise UnroutableError(
+                        self.arch.channel_width,
+                        iteration,
+                        state.overusing_nets(),
+                    )
+            if checkpoint is not None:
+                self._write_checkpoint(
+                    checkpoint, circuit, recorder,
+                    outcome="in_progress", next_pass=iteration + 1,
+                    order=order, last_failures=best_overuse, stall=stall,
+                    extra={"negotiation": state.to_payload()},
+                )
+        recorder.finish(
+            "unroutable", passes_used=cfg.negotiate_iterations
+        )
+        if checkpoint is not None:
+            self._write_checkpoint(
+                checkpoint, circuit, recorder,
+                outcome="unroutable", next_pass=None,
+                order=order, last_failures=best_overuse, stall=stall,
+                extra={"negotiation": state.to_payload()},
+            )
+        raise UnroutableError(
+            self.arch.channel_width,
+            cfg.negotiate_iterations,
+            state.overusing_nets(),
+        )
+
+    def _negotiate_route_one(
+        self,
+        rrg: RoutingResourceGraph,
+        placed: PlacedNet,
+        state: NegotiationState,
+        policy,
+        slack: Optional[SlackTable],
+    ):
+        """Serially reroute one (ripped-up) net against live costs."""
+        cfg = self.config
+        net = placed.to_graph_net()
+        budget = make_budget(cfg)
+        previous = set_dijkstra_budget(budget) if budget else None
+        rrg.attach_pins(net.terminals)
+        try:
+            return route_connections(
+                rrg.graph, placed.name, net, state, policy, slack
+            )
+        finally:
+            rrg.detach_pins(net.terminals)
+            if budget is not None:
+                set_dijkstra_budget(previous)
+
+    def _negotiation_infeasible(
+        self,
+        circuit: PlacedCircuit,
+        recorder: TraceRecorder,
+        iteration: int,
+        net_name: str,
+        checkpoint: Optional[str],
+        state: NegotiationState,
+        order: Sequence[PlacedNet],
+        best_overuse: Optional[int],
+        stall: int,
+    ) -> None:
+        """Abort on a statically unroutable net (never transient).
+
+        The negotiated graph is always the full pristine device —
+        resources are shared, not consumed — so an isolated pin or
+        unreachable sink cannot be fixed by more iterations.
+        """
+        recorder.record_event(
+            {
+                "type": "negotiation_infeasible",
+                "pass": iteration,
+                "net": net_name,
+            }
+        )
+        recorder.finish("unroutable", passes_used=iteration)
+        if checkpoint is not None:
+            self._write_checkpoint(
+                checkpoint, circuit, recorder,
+                outcome="unroutable", next_pass=None,
+                order=order, last_failures=best_overuse, stall=stall,
+                extra={"negotiation": state.to_payload()},
+            )
+        raise UnroutableError(
+            self.arch.channel_width, iteration, [net_name]
+        )
+
+    def _negotiate_chunked(
+        self,
+        circuit: PlacedCircuit,
+        targets: Sequence[PlacedNet],
+        order: Sequence[PlacedNet],
+        rrg: RoutingResourceGraph,
+        state: NegotiationState,
+        slack: Optional[SlackTable],
+        counters: DijkstraCounters,
+        stats: Dict[str, int],
+        batch_sizes: List[int],
+        iteration: int,
+        deadline: Optional[float],
+        checkpoint: Optional[str],
+        best_overuse: Optional[int],
+        stall: int,
+        recorder: TraceRecorder,
+    ) -> None:
+        """One parallel negotiation iteration in worker-pool chunks.
+
+        Each chunk rips up its nets, freezes the factor table, and
+        reroutes the chunk concurrently against that snapshot — an
+        iteration-synchronous relaxation of serial PathFinder.  Results
+        are collected in queue order, so the outcome depends only on
+        the chunking, never on worker scheduling; it is valid (the
+        checker still gates convergence) but not bit-identical to the
+        serial schedule, whose factors advance after every single net.
+        """
+        cfg = self.config
+        supervisor = self._supervisor
+        chunk_size = max(1, self.max_workers or default_workers())
+        ship_flat = (
+            resolve_graph_backend(cfg.graph_backend, rrg.graph) == "flat"
+        )
+        for lo in range(0, len(targets), chunk_size):
+            chunk = targets[lo:lo + chunk_size]
+            self._check_deadline(
+                deadline, iteration, cfg.pass_timeout_s, [], []
+            )
+            for placed in chunk:
+                state.remove_tree(placed.name)
+            factors = state.sparse_factors()
+            collect = supervisor.current == "process"
+            base_flat = rrg.graph.freeze().flat if ship_flat else None
+            tasks: List[NegotiationTask] = []
+            for placed in chunk:
+                net = placed.to_graph_net()
+                crits: Dict = {}
+                if slack is not None:
+                    crits = {
+                        s: slack.criticality(placed.name, s)
+                        for s in net.sinks
+                        if slack.criticality(placed.name, s) > 0.0
+                    }
+                if ship_flat:
+                    snapshot = None
+                    taps = {
+                        pn: rrg.pin_taps(pn) for pn in net.terminals
+                    }
+                else:
+                    snapshot = rrg.graph.copy()
+                    rrg.attach_pins(net.terminals, graph=snapshot)
+                    taps = None
+                tasks.append(
+                    NegotiationTask(
+                        name=placed.name,
+                        net=net,
+                        config=cfg,
+                        factors=factors,
+                        criticalities=crits,
+                        graph=snapshot,
+                        flat=base_flat,
+                        pin_taps=taps,
+                        collect_counters=collect,
+                        index=self._task_counter,
+                        faults=self.faults,
+                        heuristic_scale=self._heuristic_scale(),
+                    )
+                )
+                self._task_counter += 1
+            results = self._dispatch(tasks, stats, fn=run_negotiation_task)
+            for placed, result in zip(chunk, results):
+                snapshot_counters = result.get("dijkstra")
+                if snapshot_counters:
+                    counters.merge(snapshot_counters)
+                if result["status"] == INFEASIBLE:
+                    self._negotiation_infeasible(
+                        circuit, recorder, iteration, placed.name,
+                        checkpoint, state, order, best_overuse, stall,
+                    )
+                state.add_tree(
+                    placed.name, result["nodes"], result["edges"]
+                )
+                stats["speculative"] += 1
+            batch_sizes.append(len(chunk))
+
+    # ------------------------------------------------------------------
     # self-verification (RouterConfig.verify)
     # ------------------------------------------------------------------
 
@@ -715,7 +1142,10 @@ class RoutingSession:
             self._recorder.record_event(enriched)
 
     def _dispatch(
-        self, tasks: Sequence[NetTask], stats: Dict[str, int]
+        self,
+        tasks: Sequence,
+        stats: Dict[str, int],
+        fn=run_net_task,
     ) -> List[Dict[str, object]]:
         """Run one batch of tasks through the supervised executor."""
 
@@ -726,7 +1156,7 @@ class RoutingSession:
 
         return map_with_recovery(
             self._supervisor,
-            run_net_task,
+            fn,
             tasks,
             self.retry_policy,
             on_event,

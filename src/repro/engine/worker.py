@@ -128,6 +128,98 @@ def materialize_graph(task: NetTask) -> Graph:
     return g
 
 
+@dataclass
+class NegotiationTask:
+    """One net's rip-up-and-reroute job under frozen negotiated costs.
+
+    Shipped by the parallel PathFinder engines: a whole chunk of nets
+    reroutes concurrently against the same point-in-time snapshot of
+    the present × history factor table (``factors``), so the outcome of
+    the chunk is independent of worker scheduling.  Graph shipping
+    (``graph``/``flat``/``pin_taps``) and fault/counter plumbing follow
+    :class:`NetTask` exactly — :func:`materialize_graph` works on both.
+    """
+
+    name: str
+    net: Net
+    config: RouterConfig
+    #: sparse junction → factor snapshot (non-unit entries only)
+    factors: Dict[Tuple, float]
+    #: sink → slack ratio for this net's connections (timing mode);
+    #: empty means wirelength-only
+    criticalities: Dict[Tuple, float]
+    graph: Optional[Graph] = None
+    flat: Optional[FlatGraph] = None
+    pin_taps: Optional[Dict[Tuple, List[Tuple[Tuple, float]]]] = None
+    collect_counters: bool = False
+    index: int = 0
+    faults: Optional[FaultPlan] = None
+    heuristic_scale: Optional[float] = None
+
+
+def run_negotiation_task(task: NegotiationTask) -> Dict[str, object]:
+    """Reroute one net under the task's frozen negotiated costs.
+
+    Returns ``{"status": ROUTED, "nodes": [...], "edges": [...]}`` (the
+    ordered tree nodes and tree edges ``route_connections`` produced) or
+    an :data:`INFEASIBLE` marker when a pin is isolated or a sink
+    unreachable — which, on the always-pristine negotiated graph, is a
+    static property of the circuit, not a transient conflict.
+    """
+    from ..router.negotiation import FrozenFactorProvider, route_connections
+    from ..router.timing import SlackTable
+
+    if task.faults is not None:
+        task.faults.inject(task.index)
+    counters: Optional[DijkstraCounters] = None
+    previous: Optional[DijkstraCounters] = None
+    if task.collect_counters:
+        counters = DijkstraCounters()
+        previous = set_dijkstra_counters(counters)
+    budget = make_budget(task.config)
+    previous_budget = set_dijkstra_budget(budget) if budget else None
+    try:
+        graph = materialize_graph(task)
+
+        def done(payload: Dict[str, object]) -> Dict[str, object]:
+            if counters is not None:
+                payload["dijkstra"] = counters.snapshot()
+            return payload
+
+        policy = SearchPolicy(
+            task.config.search,
+            heuristic_scale=task.heuristic_scale,
+            graph_backend=task.config.graph_backend,
+        )
+        provider = FrozenFactorProvider(task.factors)
+        slack = (
+            SlackTable(
+                {(task.name, s): c for s, c in task.criticalities.items()}
+            )
+            if task.criticalities
+            else None
+        )
+        out = route_connections(
+            graph, task.name, task.net, provider, policy, slack
+        )
+        if out is None:
+            return done({"name": task.name, "status": INFEASIBLE})
+        nodes, edges = out
+        return done(
+            {
+                "name": task.name,
+                "status": ROUTED,
+                "nodes": nodes,
+                "edges": edges,
+            }
+        )
+    finally:
+        if budget is not None:
+            set_dijkstra_budget(previous_budget)
+        if counters is not None:
+            set_dijkstra_counters(previous)
+
+
 def run_net_task(task: NetTask) -> Dict[str, object]:
     """Route one net on its snapshot; never touches shared state.
 

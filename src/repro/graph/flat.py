@@ -944,3 +944,127 @@ def flat_bidirectional(
                 d += w
                 break
     return d, [nodes[i] for i in chain]
+
+
+def flat_negotiated_search(
+    flat: FlatGraph,
+    sources,
+    target: Node,
+    factors: List[float],
+    criticality: float = 0.0,
+    heuristic=None,
+    offsets=None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Multi-source negotiated-cost search over the CSR arrays.
+
+    The flat counterpart of
+    :func:`repro.graph.search.negotiated_search`: edge ``(u, v)`` with
+    base weight ``w`` costs ``w * (crit + (1 - crit) * (factors[u] +
+    factors[v]) / 2)``, where ``factors`` is the cost provider's dense
+    per-id multiplier table (every entry ``>= 1``, see
+    ``SearchPolicy.negotiated_search``).  The CSR arrays themselves are
+    never touched — congestion lives entirely in ``factors``, so one
+    frozen snapshot serves every net of an iteration.
+
+    Seeds settle at ``g = offsets[node]`` (default 0) in the order
+    given (the deterministic tie-break the negotiation loop relies on);
+    the search stops once ``target`` settles.  A seeded node reachable
+    more cheaply from another seed is relaxed like any node and gains a
+    ``pred`` entry.  Manhattan heuristics run through the memoized
+    per-id table like :func:`flat_astar`.
+    """
+    index = flat.index
+    tgt = index.get(target)
+    if tgt is None:
+        raise GraphError(f"target {target!r} not in graph")
+    if not 0.0 <= criticality <= 1.0:
+        raise GraphError(
+            f"criticality must be in [0, 1], got {criticality}"
+        )
+    crit = criticality
+    mix = (1.0 - crit) * 0.5
+    nodes = flat.nodes
+    rows = flat.rows()
+    n = len(nodes)
+    if len(factors) < n:
+        raise GraphError(
+            f"factor table covers {len(factors)} ids but the snapshot "
+            f"has {n}"
+        )
+
+    table: Optional[List[float]] = None
+    fn = heuristic
+    if heuristic is not None:
+        key = getattr(heuristic, "key", None)
+        if key is not None and key[0] == "manhattan":
+            table = flat.manhattan_table(target, key[1])
+
+    inf = INF
+    best = [inf] * n
+    pred_arr = [-1] * n
+    pred_order: List[int] = []
+    dist: Dict[Node, float] = {}
+    heap: List[Tuple[float, int, float, int]] = []
+    counter = 0
+    for s in sources:
+        si = index.get(s)
+        if si is None:
+            raise GraphError(f"source {s!r} not in graph")
+        if best[si] < inf:
+            continue
+        g0 = offsets.get(s, 0.0) if offsets else 0.0
+        if g0 < 0.0:
+            raise GraphError(f"negative source offset {g0} for {s!r}")
+        best[si] = g0
+        if fn is None:
+            hs = 0.0
+        elif table is not None:
+            hs = table[si]
+        else:
+            hs = fn(nodes[si])
+        heap.append((g0 + hs, counter, g0, si))
+        counter += 1
+    if not heap:
+        raise GraphError("negotiated search needs at least one source")
+    heapq.heapify(heap)
+    pops = 0
+    budget = get_dijkstra_budget()
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
+        _, _, g, u = heappop(heap)
+        pops += 1
+        if budget is not None:
+            budget.check(pops, counter, backend="negotiate")
+        if nodes[u] in dist:
+            continue
+        dist[nodes[u]] = g
+        if u == tgt:
+            break
+        fu = factors[u]
+        for v, w in rows[u]:
+            if nodes[v] in dist:
+                continue
+            ng = g + w * (crit + mix * (fu + factors[v]))
+            if ng < best[v]:
+                if fn is None:
+                    hv = 0.0
+                elif table is not None:
+                    hv = table[v]
+                else:
+                    hv = fn(nodes[v])
+                if hv == INF:
+                    continue
+                if pred_arr[v] < 0:
+                    pred_order.append(v)
+                best[v] = ng
+                pred_arr[v] = u
+                counter += 1
+                heappush(heap, (ng + hv, counter, ng, v))
+    counters = get_dijkstra_counters()
+    if counters is not None:
+        counters.record(pops, counter, len(heap))
+    pred: Dict[Node, Node] = {}
+    for v in pred_order:
+        pred[nodes[v]] = nodes[pred_arr[v]]
+    return dist, pred

@@ -6,15 +6,22 @@ re-weighting, resource commitment, move-to-front re-ordering across
 """
 
 from .channel_width import estimate_lower_bound, minimum_channel_width
-from .config import ALGORITHMS, RouterConfig
+from .config import ALGORITHMS, MODES, RouterConfig
 from .congestion import CongestionModel
+from .negotiation import NEGOTIATE_ALGORITHM, NegotiationState
 from .result import NetRoute, RoutingResult, measure_route
 from .router import FPGARouter, route_circuit, steiner_candidates_near_tree
+from .timing import SlackTable, critical_path_delay
 
 __all__ = [
     "estimate_lower_bound",
     "minimum_channel_width",
     "ALGORITHMS",
+    "MODES",
+    "NEGOTIATE_ALGORITHM",
+    "NegotiationState",
+    "SlackTable",
+    "critical_path_delay",
     "RouterConfig",
     "CongestionModel",
     "NetRoute",

@@ -28,6 +28,13 @@ ALGORITHMS = (
 #: every committed pass and quarantine-and-repair violating nets
 VERIFY_MODES = ("off", "final", "pass")
 
+#: top-level routing strategies: "paper" — the paper's rip-up-and-retry
+#: loop over disjoint committed nets (historical behaviour); "negotiate"
+#: — PathFinder negotiated congestion (transient overuse, per-node
+#: present × history costs, optional timing-driven slack-ratio blend —
+#: see docs/pathfinder.md)
+MODES = ("paper", "negotiate")
+
 
 @dataclass(frozen=True, kw_only=True)
 class RouterConfig:
@@ -110,6 +117,44 @@ class RouterConfig:
         the freeze.  The flat kernels are bit-identical to the dict
         kernels — this switch changes wall-clock, never results (see
         ``docs/graph.md``).
+    mode:
+        Top-level routing strategy, one of :data:`MODES`.  ``"paper"``
+        (default) is the paper's rip-up-and-retry loop over disjoint
+        committed nets; ``"negotiate"`` is PathFinder negotiated
+        congestion — every net stays routed, junctions may be
+        transiently shared, and per-node present × history costs
+        negotiate the overuse away (``docs/pathfinder.md``).  In
+        negotiate mode ``algorithm`` selects only the tag-compatible
+        connection router; congestion re-weighting and the
+        move-to-front pass loop do not apply.
+    timing:
+        Timing-driven negotiation (negotiate mode only): build a
+        per-connection slack-ratio table from Elmore delays of the
+        previous iteration's trees and blend base-cost vs negotiated
+        cost by criticality, so critical-path connections take direct
+        routes and slack connections absorb the detours.
+    negotiate_iterations:
+        Iteration budget for negotiation.  Exhausting it without
+        reaching zero overuse raises
+        :class:`~repro.errors.UnroutableError` naming the still-
+        contended nets.
+    negotiate_present_factor:
+        Present-cost slope ``p``: an occupied junction costs
+        ``1 + p · g^(iteration-1) · occupancy`` times base, so
+        contention pressure sharpens every iteration.
+    negotiate_growth:
+        Present-cost schedule base ``g`` (≥ 1): the per-iteration
+        geometric sharpening of the present cost.  ``1.0`` freezes the
+        schedule (constant present cost, history does all the work);
+        the default ``1.3`` makes sharing prohibitively expensive well
+        inside the iteration budget, which is what forces convergence
+        on tightly congested devices.
+    negotiate_history_gain:
+        History increment per unit of overuse per iteration — the
+        long-term memory that breaks present-cost oscillation.
+    negotiate_stall:
+        Oscillation guard: abort (unroutable) when total overuse fails
+        to improve for this many consecutive iterations.
     verify:
         Self-verification mode, one of :data:`VERIFY_MODES`.
         ``"off"`` (default) changes nothing; ``"final"`` certifies the
@@ -137,8 +182,34 @@ class RouterConfig:
     search: str = "auto"
     graph_backend: str = "auto"
     verify: str = "off"
+    mode: str = "paper"
+    timing: bool = False
+    negotiate_iterations: int = 40
+    negotiate_present_factor: float = 0.5
+    negotiate_growth: float = 1.3
+    negotiate_history_gain: float = 0.4
+    negotiate_stall: int = 8
 
     def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise RoutingError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.timing and self.mode != "negotiate":
+            raise RoutingError(
+                "timing=True requires mode='negotiate' (slack ratios "
+                "only steer the negotiated cost blend)"
+            )
+        if self.negotiate_iterations < 1:
+            raise RoutingError("negotiate_iterations must be >= 1")
+        if self.negotiate_present_factor <= 0:
+            raise RoutingError("negotiate_present_factor must be positive")
+        if self.negotiate_growth < 1.0:
+            raise RoutingError("negotiate_growth must be >= 1.0")
+        if self.negotiate_history_gain <= 0:
+            raise RoutingError("negotiate_history_gain must be positive")
+        if self.negotiate_stall < 1:
+            raise RoutingError("negotiate_stall must be >= 1")
         if self.verify not in VERIFY_MODES:
             raise RoutingError(
                 f"unknown verify mode {self.verify!r}; "

@@ -265,7 +265,19 @@ class FPGARouter:
         Each pass restarts from a pristine routing graph with the nets
         in the current order; nets that failed in a pass are moved to
         the front of the next one.
+
+        ``mode="negotiate"`` replaces this loop wholesale with
+        PathFinder negotiated congestion; the engine owns that loop
+        (iteration state, trace, checkpointing), so such configs
+        delegate to a serial :class:`~repro.engine.RoutingSession` —
+        which is also what every ``mode="paper"`` engine path funnels
+        through, keeping exactly one implementation of each loop.
         """
+        if self.config.mode == "negotiate":
+            from ..engine import RoutingSession
+
+            with RoutingSession(self.arch, self.config) as session:
+                return session.route(circuit)
         circuit.validate(self.arch.pins_per_block)
         cfg = self.config
         rrg = RoutingResourceGraph(self.arch)

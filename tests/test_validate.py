@@ -9,7 +9,7 @@ Covers the three layers of the issue:
   shared resources, over-capacity channels, non-shortest arborescence
   paths);
 * the engine integration — ``RouterConfig.verify`` modes, the
-  quarantine-and-repair loop, and the trace-v3 observability.
+  quarantine-and-repair loop, and the trace observability.
 """
 
 from __future__ import annotations
@@ -445,7 +445,7 @@ class TestVerifyModes:
         )
         session.route(circuit)
         doc = _trace_doc(session)
-        assert doc["schema"] == "repro.engine/trace-v3"
+        assert doc["schema"] == "repro.engine/trace-v4"
         assert doc["config"]["verify"] == "pass"
         block = doc["passes"][-1]["verify"]
         assert block["checked"] == len(circuit.nets)
