@@ -1,0 +1,224 @@
+"""Service HTTP front-end throughput and latency.
+
+Not a paper table — this bench characterizes the tentpole of the
+service milestone: routing jobs driven end-to-end over the HTTP API
+(``repro.service.http`` + ``repro.service.client``), with the durable
+journal, admission, verification and result-cache machinery all in the
+loop.  Two measurements:
+
+* **submit→result latency**: one client, one job at a time — the full
+  wire round trip including journaled enqueue, claim, route, full
+  verification and result fetch;
+* **throughput (jobs/min)** at 1, 8 and 32 concurrent clients, every
+  submission a distinct circuit (distinct fingerprints, so dedupe
+  never short-circuits the route).
+
+Every job's result is fetched over the wire and must be
+checker-verified (``verified=True`` on the terminal record).
+
+Emits ``BENCH_service_http.json`` at the repository root (and a text
+block under ``benchmarks/output/``).  Runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_http.py
+
+or through pytest, where it asserts the sanity floor (all jobs done
+and verified, finite positive rates).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.fpga import circuit_spec, scaled_spec, synthesize_circuit
+from repro.service import (
+    AdmissionPolicy,
+    BackgroundServer,
+    RoutingService,
+    ServiceClient,
+)
+
+try:  # pytest provides conftest helpers; standalone runs inline them
+    from .conftest import full_scale, record
+except ImportError:  # pragma: no cover - script entry
+    from conftest import full_scale, record
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_service_http.json"
+
+#: concurrent-client sweep required by the service milestone
+CLIENT_COUNTS = (1, 8, 32)
+WORKERS = 4
+KMB = {"algorithm": "kmb"}
+
+
+def _circuit(seed: int):
+    spec = scaled_spec(circuit_spec("term1"), 0.22)
+    return synthesize_circuit(spec, seed=seed)
+
+
+def _serve(root: str):
+    """A routing service + HTTP front end + draining worker pool."""
+    # the default policy is tuned for interactive use; the 32-client
+    # sweep needs headroom (one tenant per bench client, all active)
+    service = RoutingService(
+        root,
+        policy=AdmissionPolicy(
+            max_queue_depth=4096, max_jobs_per_tenant=64
+        ),
+    )
+    background = BackgroundServer(service)
+    host, port = background.start()
+    pool = threading.Thread(
+        target=lambda: service.serve(
+            workers=WORKERS, poll_s=0.01, install_signal_handlers=False
+        ),
+        daemon=True,
+    )
+    pool.start()
+
+    def stop():
+        service.supervisor.request_drain()
+        pool.join(timeout=60)
+        background.stop()
+
+    return service, f"http://{host}:{port}", stop
+
+
+def measure_latency(url: str, jobs: int, seed0: int) -> dict:
+    """One-at-a-time submit→result wall times, seconds."""
+    client = ServiceClient(url)
+    samples = []
+    for i in range(jobs):
+        circuit = _circuit(seed0 + i)
+        begin = time.perf_counter()
+        submitted = client.submit(
+            circuit, config=KMB, width=6, family="xc3000"
+        )
+        final = client.wait(submitted["job_id"], timeout_s=300)
+        assert final["state"] == "done" and final["verified"], final
+        client.result(submitted["job_id"])
+        samples.append(time.perf_counter() - begin)
+    return {
+        "jobs": jobs,
+        "mean_s": statistics.mean(samples),
+        "median_s": statistics.median(samples),
+        "max_s": max(samples),
+    }
+
+
+def measure_throughput(
+    url: str, clients: int, jobs_per_client: int, seed0: int
+) -> dict:
+    """Jobs/minute with ``clients`` concurrent submitters."""
+    done = []
+    errors = []
+    lock = threading.Lock()
+
+    def one_client(index: int) -> None:
+        client = ServiceClient(url)
+        try:
+            ids = []
+            for i in range(jobs_per_client):
+                circuit = _circuit(
+                    seed0 + index * jobs_per_client + i
+                )
+                ids.append(
+                    client.submit(
+                        circuit, config=KMB, width=6, family="xc3000",
+                        tenant=f"bench-{index}",
+                    )["job_id"]
+                )
+            for job_id in ids:
+                final = client.wait(job_id, timeout_s=600)
+                assert final["state"] == "done" and final["verified"]
+                with lock:
+                    done.append(job_id)
+        except Exception as exc:  # surfaced by the caller
+            with lock:
+                errors.append(repr(exc))
+
+    begin = time.perf_counter()
+    threads = [
+        threading.Thread(target=one_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=900)
+    elapsed = time.perf_counter() - begin
+    assert not errors, errors
+    total = clients * jobs_per_client
+    assert len(done) == total, (len(done), total)
+    return {
+        "clients": clients,
+        "jobs": total,
+        "elapsed_s": elapsed,
+        "jobs_per_min": total / elapsed * 60.0,
+    }
+
+
+def run_bench() -> dict:
+    latency_jobs = 10 if full_scale() else 4
+    jobs_per_client = 4 if full_scale() else 2
+    doc = {"workers": WORKERS, "throughput": {}}
+    with tempfile.TemporaryDirectory() as root:
+        service, url, stop = _serve(root)
+        try:
+            doc["latency"] = measure_latency(url, latency_jobs, 10_000)
+            seed0 = 20_000
+            for clients in CLIENT_COUNTS:
+                doc["throughput"][str(clients)] = measure_throughput(
+                    url, clients, jobs_per_client, seed0
+                )
+                seed0 += 10_000
+        finally:
+            stop()
+    return doc
+
+
+def render(doc: dict) -> str:
+    lines = [
+        "service HTTP bench (submit -> verified result, over the wire)",
+        f"  workers: {doc['workers']}",
+        "  latency (1 client, sequential): "
+        f"median {doc['latency']['median_s'] * 1e3:.0f} ms, "
+        f"mean {doc['latency']['mean_s'] * 1e3:.0f} ms, "
+        f"max {doc['latency']['max_s'] * 1e3:.0f} ms "
+        f"({doc['latency']['jobs']} jobs)",
+        "  throughput:",
+    ]
+    for clients in CLIENT_COUNTS:
+        row = doc["throughput"][str(clients)]
+        lines.append(
+            f"    {row['clients']:>2} client(s): "
+            f"{row['jobs_per_min']:8.1f} jobs/min "
+            f"({row['jobs']} jobs in {row['elapsed_s']:.2f} s)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> dict:
+    doc = run_bench()
+    BENCH_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    record("bench_service_http", render(doc) + f"\n[json: {BENCH_PATH}]")
+    return doc
+
+
+def test_service_http_bench():
+    doc = main()
+    assert doc["latency"]["median_s"] > 0
+    for clients in CLIENT_COUNTS:
+        assert doc["throughput"][str(clients)]["jobs_per_min"] > 0
+
+
+if __name__ == "__main__":  # pragma: no cover - script entry
+    main()

@@ -15,8 +15,11 @@ can be driven without writing Python:
 * ``validate`` — lint circuit files / verify result files without
   routing anything; validation findings exit with code 4.
 * ``jobs``   — the durable routing job service: ``submit`` / ``status``
-  / ``result`` / ``cancel`` / ``serve`` against a crash-safe job store
-  (see ``docs/service.md``); admission refusals exit with code 5.
+  / ``list`` / ``result`` / ``cancel`` / ``serve`` against a crash-safe
+  job store (see ``docs/service.md``); admission refusals exit with
+  code 5.  ``serve --http HOST:PORT`` additionally exposes the HTTP
+  API, and every other verb accepts ``--server URL`` to drive such a
+  server over the wire instead of opening the store directly.
 
 ``route``, ``width`` and ``report`` share one engine option group —
 ``--engine/--seed/--passes/--trace`` — so the routing engine and its
@@ -29,6 +32,7 @@ spellings (e.g. ``--max-passes``) are still accepted but hidden from
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import sys
@@ -324,6 +328,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--root", default=".repro-jobs", metavar="DIR",
             help="job store directory (default: .repro-jobs)",
         )
+        p.add_argument(
+            "--server", default=None, metavar="URL",
+            help="talk to a running `repro jobs serve --http` server "
+                 "at URL instead of opening --root directly",
+        )
 
     j_submit = jobs_sub.add_parser(
         "submit", help="enqueue a routing job (prints its id)"
@@ -349,6 +358,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     j_submit.add_argument("--tenant", default="default")
     j_submit.add_argument(
+        "--priority", type=int, default=None, metavar="P",
+        help="claim priority (higher runs first; default: the tenant's "
+             "configured priority, else 0)",
+    )
+    j_submit.add_argument(
         "--deadline-s", type=float, default=None, metavar="S",
         help="per-pass wall-clock budget (RouterConfig.pass_timeout_s)",
     )
@@ -370,6 +384,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     j_status.add_argument("job", nargs="?", default=None)
     _root_arg(j_status)
+    j_status.add_argument(
+        "--json", action="store_true",
+        help="print the full record(s) as JSON (stable keys, same "
+             "payload as the HTTP API)",
+    )
+
+    j_list = jobs_sub.add_parser(
+        "list", help="list every job record, in submission order"
+    )
+    _root_arg(j_list)
+    j_list.add_argument(
+        "--json", action="store_true",
+        help="print the records as a JSON array (stable keys, same "
+             "payload as GET /v1/jobs)",
+    )
 
     j_result = jobs_sub.add_parser(
         "result", help="print (and optionally save) a done job's result"
@@ -403,6 +432,26 @@ def _build_parser() -> argparse.ArgumentParser:
     j_serve.add_argument(
         "--stale-after-s", type=float, default=None, metavar="S",
         help="heartbeat age before a running job is taken over",
+    )
+    j_serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="also expose the HTTP API (submit/status/result/cancel/"
+             "events) on this address; PORT 0 picks a free port",
+    )
+    j_serve.add_argument(
+        "--max-result-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-served cached results once their "
+             "summed size exceeds N bytes",
+    )
+    j_serve.add_argument(
+        "--max-results", type=int, default=None, metavar="N",
+        help="evict least-recently-served cached results beyond N",
+    )
+    j_serve.add_argument(
+        "--tenant-priority", action="append", default=[],
+        metavar="TENANT=P",
+        help="claim priority for a tenant's jobs (repeatable; higher "
+             "runs first)",
     )
     return parser
 
@@ -730,19 +779,31 @@ def _print_job(record: dict) -> None:
     print(f"{record['job_id']}: {detail}")
 
 
-def _cmd_jobs(args) -> int:
+def _jobs_backend(args):
+    """The thing the verb talks to: a remote client or a local service.
+
+    With ``--server`` every verb becomes a pure HTTP exchange — the
+    process never opens (or even sees) the job store directory.
+    Locally, inspection verbs open read-only and submit/cancel append
+    under the journal's inter-process lock without running recovery —
+    a live ``repro jobs serve`` owns the store, and requeueing the jobs
+    it is actively routing would cause duplicate execution.
+    """
+    if getattr(args, "server", None):
+        from .service import ServiceClient
+
+        return ServiceClient(args.server)
     from .service import RoutingService
 
-    # inspection verbs never write; submit/cancel append under the
-    # journal's inter-process lock but must not run recovery — a live
-    # `repro jobs serve` owns the store, and requeueing the jobs it is
-    # actively routing would cause duplicate execution.  Only `serve`
-    # opens in full recovery mode.
-    service = None
-    if args.jobs_command in ("status", "result"):
-        service = RoutingService(args.root, readonly=True)
-    elif args.jobs_command in ("submit", "cancel"):
-        service = RoutingService(args.root, recover=False)
+    if args.jobs_command in ("status", "list", "result"):
+        return RoutingService(args.root, readonly=True)
+    return RoutingService(args.root, recover=False)
+
+
+def _cmd_jobs(args) -> int:
+    if args.jobs_command == "serve":
+        return _cmd_jobs_serve(args)
+    service = _jobs_backend(args)
 
     if args.jobs_command == "submit":
         circuit, family = _jobs_circuit(args)
@@ -757,20 +818,31 @@ def _cmd_jobs(args) -> int:
             width=args.width,
             w_max=args.w_max,
             tenant=args.tenant,
+            priority=args.priority,
             deadline_s=args.deadline_s,
         )
-        _print_job(record.to_dict())
+        if not isinstance(record, dict):
+            record = record.to_dict()
+        _print_job(record)
         return 0
 
-    if args.jobs_command == "status":
-        if args.job is None:
+    if args.jobs_command in ("status", "list"):
+        job = getattr(args, "job", None)
+        if job is None:
             records = service.jobs()
-            if not records:
+            if args.json:
+                print(json.dumps(records, indent=2, sort_keys=True))
+            elif not records:
                 print("no jobs")
-            for record in records:
-                _print_job(record)
+            else:
+                for record in records:
+                    _print_job(record)
         else:
-            _print_job(service.status(args.job))
+            record = service.status(job)
+            if args.json:
+                print(json.dumps(record, indent=2, sort_keys=True))
+            else:
+                _print_job(record)
         return 0
 
     if args.jobs_command == "result":
@@ -787,27 +859,88 @@ def _cmd_jobs(args) -> int:
             print(f"result written to {args.save}")
         return 0
 
-    if args.jobs_command == "cancel":
-        _print_job(service.cancel(args.job).to_dict())
-        return 0
+    assert args.jobs_command == "cancel"
+    record = service.cancel(args.job)
+    if not isinstance(record, dict):
+        record = record.to_dict()
+    _print_job(record)
+    return 0
 
+
+def _parse_tenant_priorities(pairs) -> dict:
+    priorities = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            if not (sep and name):
+                raise ValueError
+            priorities[name] = int(value)
+        except ValueError:
+            raise ValidationError(
+                f"--tenant-priority wants TENANT=P, got {pair!r}"
+            ) from None
+    return priorities
+
+
+def _cmd_jobs_serve(args) -> int:
     # serve: fault points must *hard-kill* this process (the crash
     # harness SIGKILL-equivalent), not raise a catchable exception
     from .engine.faults import HARD_EXIT_ENV
-    from .service import DEFAULT_STALE_AFTER_S
+    from .service import (
+        AdmissionPolicy,
+        DEFAULT_STALE_AFTER_S,
+        EvictionPolicy,
+        RoutingService,
+        serve_http,
+    )
+
+    eviction = None
+    if args.max_result_bytes is not None or args.max_results is not None:
+        eviction = EvictionPolicy(
+            max_result_bytes=args.max_result_bytes,
+            max_results=args.max_results,
+        )
+    policy = None
+    priorities = _parse_tenant_priorities(args.tenant_priority)
+    if priorities:
+        policy = AdmissionPolicy(tenant_priorities=priorities)
 
     os.environ[HARD_EXIT_ENV] = "1"
     service = RoutingService(
         args.root,
         engine=args.engine,
+        policy=policy,
         stale_after_s=args.stale_after_s or DEFAULT_STALE_AFTER_S,
+        eviction=eviction,
     )
     recovered = {k: v for k, v in service.recovered.items() if v}
     if recovered:
-        print(f"recovery: {recovered}")
-    processed = service.serve(
-        workers=args.workers, exit_when_idle=args.exit_when_idle
-    )
+        print(f"recovery: {recovered}", flush=True)
+
+    if args.http:
+        if args.exit_when_idle:
+            print(
+                "error: --http serves until signalled; "
+                "--exit-when-idle does not apply",
+                file=sys.stderr,
+            )
+            return 2
+        host, _, port = args.http.rpartition(":")
+        try:
+            port = int(port)
+        except ValueError:
+            print(
+                f"error: --http wants HOST:PORT, got {args.http!r}",
+                file=sys.stderr,
+            )
+            return 2
+        processed = serve_http(
+            service, host or "127.0.0.1", port, workers=args.workers
+        )
+    else:
+        processed = service.serve(
+            workers=args.workers, exit_when_idle=args.exit_when_idle
+        )
     print(f"served {processed} job(s)")
     return 0
 

@@ -185,6 +185,28 @@ class JobError(ServiceError):
         super().__init__(message)
 
 
+class UnknownJobError(JobError):
+    """The named job does not exist in the store (HTTP 404)."""
+
+
+class JobFailedError(JobError):
+    """A job reached the ``failed`` terminal state; its result is the
+    failure itself.
+
+    Raised by :meth:`repro.service.api.RoutingService.result` (and
+    surfaced over the HTTP API) instead of a bare missing-file error.
+    ``record`` is the job's full journal-derived record as a dict —
+    including ``error`` (the recorded cause), ``attempts`` and
+    ``requeues`` — so callers can inspect *why* without re-reading the
+    store.  ``failure`` is the recorded cause string, if any.
+    """
+
+    def __init__(self, message: str, *, job_id=None, record=None):
+        super().__init__(message, job_id=job_id)
+        self.record = dict(record or {})
+        self.failure = self.record.get("error")
+
+
 class AdmissionError(ServiceError):
     """The service refused to enqueue a job (backpressure).
 

@@ -19,7 +19,14 @@ Layering (each module usable on its own):
   route / verify / finish, seeded-backoff retry, heartbeats and
   stale-job takeover, graceful drain;
 * :mod:`repro.service.api` — :class:`RoutingService`: the facade the
-  CLI (``repro jobs``) and tests drive.
+  CLI (``repro jobs``) and tests drive;
+* :mod:`repro.service.eviction` — :class:`EvictionPolicy`: size/count
+  caps on the fingerprint-keyed result cache, LRU with pinning;
+* :mod:`repro.service.http` — :class:`ServiceHTTP` / :func:`serve_http`:
+  the stdlib-asyncio HTTP front end (submit, status, result, cancel,
+  metrics, SSE progress streaming);
+* :mod:`repro.service.client` — :class:`ServiceClient`: the typed
+  HTTP client with retry-with-backoff and exception round-tripping.
 
 See ``docs/service.md`` for the state machine, the journal format and
 the recovery semantics, and ``tests/test_service.py`` for the
@@ -29,6 +36,7 @@ kill-anywhere crash matrix that exercises every fault point.
 from .admission import (
     DEFAULT_MAX_JOBS_PER_TENANT,
     DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_PRIORITY,
     AdmissionPolicy,
 )
 from .api import (
@@ -37,6 +45,14 @@ from .api import (
     RoutingService,
     config_to_dict,
     request_fingerprint,
+)
+from .client import ServiceClient, TransportError
+from .eviction import EvictionPolicy
+from .http import (
+    HTTP_API_VERSION,
+    BackgroundServer,
+    ServiceHTTP,
+    serve_http,
 )
 from .journal import JOURNAL_SCHEMA, Journal, read_journal
 from .store import (
@@ -57,6 +73,14 @@ __all__ = [
     "Journal",
     "read_journal",
     "AdmissionPolicy",
+    "EvictionPolicy",
+    "ServiceHTTP",
+    "BackgroundServer",
+    "serve_http",
+    "ServiceClient",
+    "TransportError",
+    "HTTP_API_VERSION",
+    "DEFAULT_PRIORITY",
     "request_fingerprint",
     "config_to_dict",
     "config_from_dict",

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import signal
 import sys
 import threading
@@ -49,14 +50,15 @@ from typing import Any, Dict, List, Optional
 from ..engine.checkpoint import config_fingerprint
 from ..engine.faults import FaultPlan
 from ..engine.retry import RetryPolicy
-from ..errors import JobError, ReproError
+from ..errors import JobError, JobFailedError, ReproError
 from ..fpga.netlist import PlacedCircuit
 from ..io import circuit_to_dict, load_result, result_to_dict
 from ..router.config import RouterConfig
 from ..router.result import RoutingResult
 from ..validate import verify_result
 from .admission import AdmissionPolicy
-from .store import JobRecord, JobStore, TERMINAL_STATES
+from .eviction import EvictionPolicy
+from .store import ACTIVE_STATES, JobRecord, JobStore, TERMINAL_STATES
 from .supervisor import _FAMILIES, DEFAULT_STALE_AFTER_S, JobSupervisor
 
 #: request document format marker
@@ -123,6 +125,7 @@ class RoutingService:
         faults: Optional[FaultPlan] = None,
         recover: bool = True,
         readonly: bool = False,
+        eviction: Optional[EvictionPolicy] = None,
     ):
         """Open (and, by default, crash-recover) the store at ``root``.
 
@@ -138,6 +141,7 @@ class RoutingService:
         self.readonly = readonly
         self.store = JobStore(root, faults=self.faults, readonly=readonly)
         self.policy = policy or AdmissionPolicy()
+        self.eviction = eviction
         #: what recovery did when this instance opened the store
         if recover and not readonly:
             self.recovered = self.store.reconcile()
@@ -150,6 +154,7 @@ class RoutingService:
             retry_policy=retry_policy,
             stale_after_s=stale_after_s,
             faults=self.faults,
+            eviction=eviction,
         )
 
     # ------------------------------------------------------------------
@@ -165,6 +170,7 @@ class RoutingService:
         w_max: int = 40,
         engine: Optional[str] = None,
         tenant: str = "default",
+        priority: Optional[int] = None,
         deadline_s: Optional[float] = None,
         net_deadline_s: Optional[float] = None,
     ) -> JobRecord:
@@ -172,7 +178,9 @@ class RoutingService:
 
         ``width=None`` asks for the minimum-channel-width sweep up to
         ``w_max``; a fixed ``width`` routes at exactly that width.
-        ``deadline_s`` / ``net_deadline_s`` become the job's
+        ``priority`` overrides the tenant's configured claim priority
+        (higher runs first; the effective value is journaled with the
+        submission).  ``deadline_s`` / ``net_deadline_s`` become the job's
         ``pass_timeout_s`` / ``route_timeout_s`` budgets unless the
         config already sets them.  Raises
         :class:`~repro.errors.AdmissionError` on backpressure and
@@ -189,30 +197,44 @@ class RoutingService:
         if width is not None:
             arch = _FAMILIES[family](circuit.rows, circuit.cols, width)
         with self.lock:
-            # fold in anything another process journaled (a live server
-            # finishing jobs frees queue slots; its results feed dedupe)
-            self.store.refresh()
-            self.policy.admit(self.store, circuit, arch, tenant)
-            fingerprint = request_fingerprint(
-                circuit, config, family=family, width=width, w_max=w_max
-            )
-            request = {
-                "format": REQUEST_FORMAT,
-                "version": REQUEST_VERSION,
-                "tenant": tenant,
-                "fingerprint": fingerprint,
-                "family": family,
-                "width": width,
-                "w_max": w_max,
-                "engine": engine,
-                "deadline_s": deadline_s,
-                "net_deadline_s": net_deadline_s,
-                "config": config_to_dict(config),
-                "circuit": circuit_to_dict(circuit),
-            }
-            record = self.store.create_job(
-                request, fingerprint=fingerprint, tenant=tenant
-            )
+            # admission *check* and enqueue *append* must be one atomic
+            # step across processes, or two submitters racing on the
+            # last queue/tenant slot would both pass the check and both
+            # enqueue; the journal's reentrant flock spans check+append
+            with self.store.journal.lock():
+                # fold in anything another process journaled (a live
+                # server finishing jobs frees queue slots; its results
+                # feed dedupe)
+                self.store.refresh()
+                self.policy.admit(self.store, circuit, arch, tenant)
+                effective_priority = self.policy.priority_for(
+                    tenant, priority
+                )
+                fingerprint = request_fingerprint(
+                    circuit, config, family=family, width=width,
+                    w_max=w_max,
+                )
+                request = {
+                    "format": REQUEST_FORMAT,
+                    "version": REQUEST_VERSION,
+                    "tenant": tenant,
+                    "priority": effective_priority,
+                    "fingerprint": fingerprint,
+                    "family": family,
+                    "width": width,
+                    "w_max": w_max,
+                    "engine": engine,
+                    "deadline_s": deadline_s,
+                    "net_deadline_s": net_deadline_s,
+                    "config": config_to_dict(config),
+                    "circuit": circuit_to_dict(circuit),
+                }
+                record = self.store.create_job(
+                    request,
+                    fingerprint=fingerprint,
+                    tenant=tenant,
+                    priority=effective_priority,
+                )
             source = self.store.lookup_result(fingerprint)
             if source is not None:
                 # an identical request already routed: adopt its result
@@ -280,17 +302,94 @@ class RoutingService:
             return [r.to_dict() for r in self.store.records()]
 
     def result(self, job_id: str) -> RoutingResult:
-        """The verified routing result of a ``done`` job."""
+        """The verified routing result of a ``done`` job.
+
+        A terminally *failed* job raises
+        :class:`~repro.errors.JobFailedError` carrying the full
+        failure record (cause, attempts, requeue history) — the job's
+        outcome, structured, not a missing-file artifact.  An evicted
+        result raises a :class:`~repro.errors.JobError` naming the
+        eviction (resubmitting the identical request re-routes it).
+        """
         with self.lock:
             self.store.refresh()
             record = self.store.get(job_id)
+        if record.state == "failed":
+            raise JobFailedError(
+                f"job {job_id} failed: {record.error or 'unknown cause'}",
+                job_id=job_id,
+                record=record.to_dict(),
+            )
         if record.state != "done":
             raise JobError(
                 f"job {job_id} is {record.state!r}, not done"
                 + (f" ({record.error})" if record.error else ""),
                 job_id=job_id,
             )
+        if record.result_evicted:
+            raise JobError(
+                f"job {job_id} is done but its result was evicted from "
+                f"the result store; resubmit the request to re-route",
+                job_id=job_id,
+            )
         return load_result(self.store.result_path(job_id))
+
+    def metrics(self) -> Dict[str, Any]:
+        """Operational counters, journal-derived (stable keys).
+
+        Served by ``GET /v1/metrics``; everything here is rebuilt from
+        the journal, so the numbers survive restart.
+        """
+        with self.lock:
+            self.store.refresh()
+            records = self.store.records()
+            usage = self.store.result_usage()
+            try:
+                journal_bytes = os.path.getsize(self.store.journal.path)
+            except OSError:
+                journal_bytes = 0
+            states: Dict[str, int] = {}
+            tenants: Dict[str, Dict[str, int]] = {}
+            dedupe_hits = 0
+            evicted = 0
+            for record in records:
+                states[record.state] = states.get(record.state, 0) + 1
+                row = tenants.setdefault(
+                    record.tenant, {"active": 0, "total": 0}
+                )
+                row["total"] += 1
+                if record.state in ACTIVE_STATES:
+                    row["active"] += 1
+                if record.deduped_from is not None:
+                    dedupe_hits += 1
+                if record.result_evicted:
+                    evicted += 1
+        return {
+            "jobs_total": len(records),
+            "queue_depth": sum(
+                states.get(s, 0) for s in ACTIVE_STATES
+            ),
+            "states": states,
+            "tenants": tenants,
+            "dedupe_hits": dedupe_hits,
+            "journal": {
+                "size_bytes": journal_bytes,
+                "next_seq": self.store.journal.next_seq,
+            },
+            "results": {
+                "count": len(usage),
+                "bytes": sum(e["bytes"] for e in usage),
+                "evicted_total": evicted,
+            },
+        }
+
+    def evict_results(self) -> List[str]:
+        """Run one eviction sweep now; returns evicted job ids."""
+        if self.eviction is None:
+            return []
+        with self.lock:
+            self.store.refresh()
+            return self.eviction.sweep(self.store)
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel a job: immediate while queued, cooperative after.

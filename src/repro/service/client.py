@@ -1,0 +1,365 @@
+"""Typed client for the routing service's HTTP API.
+
+:class:`ServiceClient` talks to a :mod:`repro.service.http` server over
+plain :mod:`http.client` — no third-party dependencies, no filesystem
+access on the client side.  It reverses the server's wire contract:
+
+* JSON error payloads (``{"error": {"type", "message", ...}}``) are
+  rebuilt into the library's own exception taxonomy, so
+  ``except AdmissionError`` works identically whether the service is a
+  local directory or a remote socket;
+* ``submit`` accepts either live objects (:class:`PlacedCircuit`,
+  :class:`RouterConfig`) or their already-serialized dict forms;
+* ``result`` returns a real :class:`~repro.router.RoutingResult` via
+  :func:`repro.io.result_from_dict`;
+* ``events`` is a generator over the server's SSE stream, yielding
+  ``(event, data, id)`` tuples and transparently reconnecting with
+  ``Last-Event-ID`` where it left off — a restarted server resumes the
+  stream without replaying lines the caller already saw.
+
+Transient failures (connection reset, refused, any 5xx) are retried
+with exponential backoff.  Retrying a *submit* is safe by design: the
+request fingerprint dedupes a resubmission server-side, so the worst
+case of "the ack was lost after the journal write" is a second record
+that immediately adopts the first one's result.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from .. import errors as _errors
+from ..errors import JobError, ReproError, ServiceError
+from ..fpga.netlist import PlacedCircuit
+from ..io import circuit_to_dict, result_from_dict
+from ..router.config import RouterConfig
+from ..router.result import RoutingResult
+from .api import config_to_dict
+from .store import TERMINAL_STATES
+
+#: statuses the client treats as transient server trouble
+_RETRYABLE_STATUS = frozenset({500, 502, 503, 504})
+
+
+class TransportError(ServiceError):
+    """The client could not complete an HTTP exchange after retries."""
+
+
+def exception_from_document(doc: Dict[str, Any], status: int) -> ReproError:
+    """Rebuild a library exception from a wire error payload.
+
+    The ``type`` field names a class in :mod:`repro.errors`; anything
+    unknown (or a payload from a non-repro server) degrades to
+    :class:`ServiceError` carrying the raw message.
+    """
+    err = doc.get("error") if isinstance(doc, dict) else None
+    if not isinstance(err, dict):
+        return ServiceError(f"HTTP {status}: {doc!r}")
+    name = err.get("type", "ServiceError")
+    message = err.get("message", f"HTTP {status}")
+    cls = getattr(_errors, str(name), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        return ServiceError(f"{name}: {message}")
+    try:
+        if issubclass(cls, _errors.JobFailedError):
+            exc: ReproError = cls(
+                message, job_id=err.get("job_id"), record=err.get("record")
+            )
+        elif issubclass(cls, _errors.JobError):
+            exc = cls(message, job_id=err.get("job_id"))
+        elif issubclass(cls, _errors.AdmissionError):
+            exc = cls(message, code=err.get("code", "QUEUE_FULL"))
+        else:
+            exc = cls(message)
+    except TypeError:  # a constructor with extra required args
+        exc = ServiceError(f"{name}: {message}")
+    return exc
+
+
+class ServiceClient:
+    """One routing-service endpoint, with retries and typed errors.
+
+    ``base_url`` is ``http://host:port`` (a path prefix is honoured).
+    ``retries`` bounds *re*-attempts per request; backoff doubles from
+    ``backoff_s`` up to ``max_backoff_s``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 60.0,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+        max_backoff_s: float = 5.0,
+    ):
+        split = urllib.parse.urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ServiceError(
+                f"unsupported scheme {split.scheme!r} in {base_url!r}"
+            )
+        netloc = split.netloc or split.path
+        if not netloc:
+            raise ServiceError(f"no host in server URL {base_url!r}")
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.prefix = split.path.rstrip("/") if split.netloc else ""
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One JSON exchange with retry-with-backoff on 5xx/transport."""
+        payload = None
+        headers = {"Connection": "close"}
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        delay = self.backoff_s
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff_s)
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            try:
+                conn.request(
+                    method, self.prefix + path, body=payload, headers=headers
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException) as exc:
+                last = exc
+                continue
+            finally:
+                conn.close()
+            if status in _RETRYABLE_STATUS:
+                last = TransportError(
+                    f"{method} {path} -> HTTP {status}: "
+                    f"{raw[:200].decode('utf-8', 'replace')}"
+                )
+                continue
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                raise TransportError(
+                    f"{method} {path} -> HTTP {status} with non-JSON body"
+                ) from None
+            if status >= 400:
+                raise exception_from_document(doc, status)
+            return doc
+        raise TransportError(
+            f"{method} {path} failed after {self.retries + 1} attempt(s): "
+            f"{last!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")
+
+    def submit(
+        self,
+        circuit: Union[PlacedCircuit, Dict[str, Any]],
+        *,
+        config: Union[RouterConfig, Dict[str, Any], None] = None,
+        family: str = "xc3000",
+        width: Optional[int] = None,
+        w_max: int = 40,
+        engine: Optional[str] = None,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        net_deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit one routing request; returns the job record dict."""
+        if isinstance(circuit, PlacedCircuit):
+            circuit = circuit_to_dict(circuit)
+        if isinstance(config, RouterConfig):
+            config = config_to_dict(config)
+        body: Dict[str, Any] = {
+            "circuit": circuit,
+            "config": config,
+            "family": family,
+            "width": width,
+            "w_max": w_max,
+            "engine": engine,
+            "tenant": tenant,
+            "priority": priority,
+            "deadline_s": deadline_s,
+            "net_deadline_s": net_deadline_s,
+        }
+        return self._request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/jobs/{urllib.parse.quote(job_id)}"
+        )
+
+    def result(self, job_id: str) -> RoutingResult:
+        doc = self._request(
+            "GET", f"/v1/jobs/{urllib.parse.quote(job_id)}/result"
+        )
+        return result_from_dict(doc, source=f"<http:{job_id}>")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request(
+            "DELETE", f"/v1/jobs/{urllib.parse.quote(job_id)}"
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise JobError(
+                    f"job {job_id} still {record['state']!r} after "
+                    f"{timeout_s:.0f}s",
+                    job_id=job_id,
+                )
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    # SSE progress streaming
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        job_id: str,
+        *,
+        last_event_id: int = 0,
+        reconnect: bool = True,
+        heartbeats: bool = True,
+    ) -> Iterator[Tuple[str, Dict[str, Any], int]]:
+        """Yield ``(event, data, id)`` from the job's progress stream.
+
+        ``event`` is ``"trace"``, ``"heartbeat"`` or ``"state"``; the
+        stream ends after the terminal ``state`` event.  With
+        ``reconnect`` the generator survives a dropped connection —
+        including a server SIGKILL + restart — by re-attaching with
+        ``Last-Event-ID`` so no trace line is re-delivered or lost.
+        """
+        seen = last_event_id
+        delay = self.backoff_s
+        attempts_left = self.retries
+        while True:
+            try:
+                for event, data, event_id in self._stream_once(
+                    job_id, seen
+                ):
+                    if event_id:
+                        seen = max(seen, event_id)
+                    delay = self.backoff_s
+                    attempts_left = self.retries
+                    if event == "heartbeat" and not heartbeats:
+                        continue
+                    yield event, data, event_id
+                    if event == "state":
+                        return
+                # stream closed without a terminal event (server went
+                # away mid-route): reconnect unless told not to
+                if not reconnect:
+                    return
+            except ReproError:
+                raise
+            except (OSError, http.client.HTTPException) as exc:
+                if not reconnect:
+                    raise TransportError(
+                        f"event stream for {job_id} dropped: {exc!r}"
+                    ) from exc
+            if attempts_left <= 0:
+                raise TransportError(
+                    f"event stream for {job_id}: server unreachable "
+                    f"after {self.retries} reconnect attempt(s)"
+                )
+            attempts_left -= 1
+            time.sleep(delay)
+            delay = min(delay * 2, self.max_backoff_s)
+
+    def _stream_once(
+        self, job_id: str, last_event_id: int
+    ) -> Iterator[Tuple[str, Dict[str, Any], int]]:
+        """One SSE connection; yields parsed events until it closes."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "GET",
+                f"{self.prefix}/v1/jobs/{urllib.parse.quote(job_id)}/events",
+                headers={
+                    "Accept": "text/event-stream",
+                    "Last-Event-ID": str(last_event_id),
+                },
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    raise TransportError(
+                        f"events for {job_id} -> HTTP {response.status}"
+                    ) from None
+                raise exception_from_document(doc, response.status)
+            event = "message"
+            event_id = 0
+            data_lines: List[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue
+                if not line:  # blank line = dispatch
+                    if data_lines:
+                        text = "\n".join(data_lines)
+                        try:
+                            data = json.loads(text)
+                        except ValueError:
+                            data = {"raw": text}
+                        yield event, data, event_id
+                    event, event_id, data_lines = "message", 0, []
+                    continue
+                field, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "event":
+                    event = value
+                elif field == "id":
+                    try:
+                        event_id = int(value)
+                    except ValueError:
+                        event_id = 0
+                elif field == "data":
+                    data_lines.append(value)
+        finally:
+            conn.close()

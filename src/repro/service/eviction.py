@@ -1,0 +1,108 @@
+"""Result-store eviction: keep the fingerprint-keyed cache bounded.
+
+Every ``done`` job leaves a verified ``result.json`` behind, and the
+dedupe index keeps serving it to identical resubmissions forever.  At
+"millions of users" scale that cache grows without bound, so the
+service sweeps it against an :class:`EvictionPolicy`:
+
+* the footprint is the summed byte size of every live (non-evicted)
+  ``result.json``, capped by ``max_result_bytes``; the population is
+  capped by ``max_results``;
+* victims are chosen **least-recently-used** first — "used" meaning
+  *served*: every dedupe hit stamps ``served_at`` on the index entry,
+  so a result that keeps answering resubmissions outlives one nobody
+  asked for again;
+* a result is **pinned** while any *active* (queued/running/
+  checkpointed) job shares its fingerprint — that job will adopt the
+  cached result at claim time, and evicting its donor mid-queue would
+  force a pointless re-route;
+* every eviction is **journaled first** (``result_evicted``), then the
+  files are unlinked — a crash between the two is completed by
+  ``reconcile()`` on the next open, and journal replay keeps the
+  record marked evicted forever.  The job itself stays ``done``: its
+  history is truth, only the artifact is reclaimed.  Recovery
+  deliberately does *not* treat an evicted result as ``result_lost``,
+  so restart never re-routes evicted work.
+
+The sweep runs after every job completion when the supervisor is
+configured with a policy, and on demand via
+:meth:`~repro.service.api.RoutingService.evict_results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ServiceError
+from .store import ACTIVE_STATES, JobStore
+
+#: by default nothing is evicted — caps are opt-in
+DEFAULT_MAX_RESULT_BYTES: Optional[int] = None
+DEFAULT_MAX_RESULTS: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """Caps for the fingerprint-keyed result store.
+
+    ``max_result_bytes`` bounds the summed size of cached result
+    files; ``max_results`` bounds how many there are.  ``None``
+    disables a cap; both ``None`` makes :meth:`sweep` a no-op.
+    """
+
+    max_result_bytes: Optional[int] = DEFAULT_MAX_RESULT_BYTES
+    max_results: Optional[int] = DEFAULT_MAX_RESULTS
+
+    def __post_init__(self) -> None:
+        for name in ("max_result_bytes", "max_results"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ServiceError(f"{name} must be >= 1 or None")
+
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.max_result_bytes is not None
+            or self.max_results is not None
+        )
+
+    def over_cap(self, total_bytes: int, count: int) -> bool:
+        if (
+            self.max_result_bytes is not None
+            and total_bytes > self.max_result_bytes
+        ):
+            return True
+        return self.max_results is not None and count > self.max_results
+
+    def sweep(self, store: JobStore) -> List[str]:
+        """Evict LRU results until the store is back under its caps.
+
+        Returns the evicted job ids, oldest-served first.  Pinned
+        results (an active job shares the fingerprint) are skipped —
+        the sweep may therefore legitimately finish above a cap; the
+        next sweep, after those jobs drain, converges.
+        """
+        if not self.bounded:
+            return []
+        usage = store.result_usage()
+        total = sum(entry["bytes"] for entry in usage)
+        count = len(usage)
+        if not self.over_cap(total, count):
+            return []
+        pinned = {
+            record.fingerprint
+            for record in store.records()
+            if record.state in ACTIVE_STATES and record.fingerprint
+        }
+        evicted: List[str] = []
+        for entry in sorted(usage, key=lambda e: (e["last_used"], e["job"])):
+            if not self.over_cap(total, count):
+                break
+            if entry["fingerprint"] in pinned:
+                continue
+            store.evict_result(entry["job"])
+            evicted.append(entry["job"])
+            total -= entry["bytes"]
+            count -= 1
+        return evicted

@@ -1,0 +1,594 @@
+"""The network front end: ``repro.service`` over HTTP (stdlib asyncio).
+
+One :class:`ServiceHTTP` exposes a :class:`~repro.service.api.
+RoutingService` on a TCP socket, so clients submit, watch and fetch
+routing jobs over the wire instead of sharing the store's filesystem:
+
+====== ============================ =====================================
+method path                         meaning
+====== ============================ =====================================
+POST   ``/v1/jobs``                 submit (circuit + config + tenant +
+                                    priority); 201 with the job record
+GET    ``/v1/jobs``                 every job record, submission order
+GET    ``/v1/jobs/{id}``            one job's journal-derived record
+GET    ``/v1/jobs/{id}/result``     the verified result document (done)
+GET    ``/v1/jobs/{id}/events``     live progress as Server-Sent Events
+DELETE ``/v1/jobs/{id}``            cancel (immediate/cooperative)
+GET    ``/v1/healthz``              liveness + store identity
+GET    ``/v1/metrics``              queue depth, per-tenant counts,
+                                    dedupe hits, journal/result sizes
+====== ============================ =====================================
+
+The server is deliberately *thin*: every durable decision still happens
+inside :class:`RoutingService` under its journal protocol, so the
+kill-anywhere crash contract is inherited — an HTTP submit is acked
+only after the ``submitted`` event is fsync'd (a server killed
+mid-request has either journaled the job or never acked it; nothing is
+half-applied), and a SIGKILL'd server recovers by journal replay at the
+next start exactly like the filesystem service does.  Blocking service
+calls run on executor threads; the event loop only parses, streams and
+writes.
+
+Progress streaming (``/v1/jobs/{id}/events``) is SSE tailing the job's
+``log.jsonl``:
+
+* each trace event (``repro.engine/trace-v4``: pass summaries,
+  checkpoints, heartbeats from the engine) is sent as ``event: trace``
+  with ``id:`` equal to its 1-based line number in the log;
+* a client that reconnects sends ``Last-Event-ID`` (header or
+  ``?last_event_id=`` query) and resumes exactly after the last line it
+  saw — the log file is append-only, so ids are stable across server
+  restarts;
+* ``event: heartbeat`` carries worker liveness while the route is
+  between trace events; comment keep-alives hold idle connections open;
+* when the job reaches a terminal state the stream flushes the log
+  tail, sends one final ``event: state`` with the full record, and
+  closes.
+
+Errors are structured JSON (``{"error": {"type", "message", ...}}``)
+with the library's exception taxonomy mapped onto status codes:
+``AdmissionError`` 429 (backpressure, retry later), ``ValidationError``
+422 (the request is broken), ``UnknownJobError`` 404, other
+``JobError`` 409 (wrong state — including the structured failure record
+of a terminally failed job), malformed documents 400, everything else
+500.  The typed client (:mod:`repro.service.client`) reverses the
+mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    AdmissionError,
+    FormatError,
+    JobError,
+    ReproError,
+    ServiceError,
+    UnknownJobError,
+    ValidationError,
+)
+from ..io import circuit_from_dict, result_to_dict
+from .store import TERMINAL_STATES
+from .supervisor import config_from_dict
+
+#: wire format marker served by /v1/healthz
+HTTP_API_VERSION = 1
+
+#: largest accepted request body (a placed circuit is ~KBs; 64 MiB is
+#: far beyond any real device and bounds a hostile request)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def error_status(exc: BaseException) -> int:
+    """The HTTP status an exception maps onto."""
+    if isinstance(exc, AdmissionError):
+        return 429
+    if isinstance(exc, UnknownJobError):
+        return 404
+    if isinstance(exc, JobError):
+        return 409
+    if isinstance(exc, ValidationError):
+        return 422
+    if isinstance(exc, FormatError):
+        return 400
+    return 500
+
+
+def error_document(exc: BaseException) -> Dict[str, Any]:
+    """One exception as the wire error payload (round-trippable)."""
+    doc: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    for attr in ("code", "job_id", "record", "failure", "kind"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            doc[attr] = value
+    report = getattr(exc, "report", None)
+    if report is not None:
+        try:
+            doc["diagnostics"] = [d.render() for d in report.diagnostics]
+        except Exception:  # pragma: no cover - diagnostics best effort
+            pass
+    return {"error": doc}
+
+
+def _read_log_lines(path: str, skip: int) -> List[str]:
+    """Complete (newline-terminated) lines of a log after ``skip``.
+
+    An unterminated tail is in the middle of being appended — it is
+    left for the next poll, so SSE ids always name durable lines.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines(keepends=True)
+    except OSError:
+        return []
+    complete = [l.rstrip("\n") for l in lines if l.endswith("\n")]
+    return complete[skip:]
+
+
+class ServiceHTTP:
+    """Asyncio HTTP front end over one :class:`RoutingService`.
+
+    ``port=0`` binds an ephemeral port; :attr:`bound` carries the real
+    ``(host, port)`` after :meth:`start`.  The server handles any
+    number of concurrent requests; service calls are serialized by the
+    service's own lock on executor threads.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        sse_poll_s: float = 0.2,
+        sse_heartbeat_s: float = 5.0,
+        request_timeout_s: float = 30.0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.sse_poll_s = sse_poll_s
+        self.sse_heartbeat_s = sse_heartbeat_s
+        self.request_timeout_s = request_timeout_s
+        self.bound: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.bound = (sockname[0], sockname[1])
+        return self.bound
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _call(self, fn: Callable[[], Any]) -> Any:
+        """Run one blocking service call off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(None, fn)
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.TimeoutError,
+            ValueError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        try:
+            if request is None:
+                await self._respond(
+                    writer, 413,
+                    {"error": {"type": "ServiceError",
+                               "message": "request body too large"}},
+                )
+            else:
+                await self._dispatch(writer, *request)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                await self._respond(
+                    writer, error_status(exc), error_document(exc)
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """``(method, path, query, headers, body)`` or None (too big)."""
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), self.request_timeout_s
+        )
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ValueError("malformed content-length") from None
+        if length > MAX_BODY_BYTES:
+            return None
+        body = b""
+        if length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), self.request_timeout_s
+            )
+        split = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(split.query))
+        return method.upper(), split.path, query, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: Any,
+    ) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        service = self.service
+        segments = [s for s in path.split("/") if s]
+        if not segments or segments[0] != "v1":
+            await self._respond(
+                writer, 404,
+                {"error": {"type": "ServiceError",
+                           "message": f"no such resource {path!r}"}},
+            )
+            return
+
+        if segments[1:] == ["healthz"] and method == "GET":
+            await self._respond(
+                writer, 200,
+                {
+                    "ok": True,
+                    "service": "repro.service",
+                    "api_version": HTTP_API_VERSION,
+                    "store": service.store.root,
+                },
+            )
+            return
+        if segments[1:] == ["metrics"] and method == "GET":
+            await self._respond(
+                writer, 200, await self._call(service.metrics)
+            )
+            return
+        if segments[1:] == ["jobs"]:
+            if method == "GET":
+                await self._respond(
+                    writer, 200, await self._call(service.jobs)
+                )
+                return
+            if method == "POST":
+                await self._submit(writer, body)
+                return
+            await self._respond(
+                writer, 405,
+                {"error": {"type": "ServiceError",
+                           "message": f"{method} not allowed here"}},
+            )
+            return
+        if len(segments) >= 3 and segments[1] == "jobs":
+            job_id = segments[2]
+            rest = segments[3:]
+            if not rest and method == "GET":
+                await self._respond(
+                    writer, 200,
+                    await self._call(lambda: service.status(job_id)),
+                )
+                return
+            if not rest and method == "DELETE":
+                record = await self._call(
+                    lambda: service.cancel(job_id)
+                )
+                await self._respond(writer, 200, record.to_dict())
+                return
+            if rest == ["result"] and method == "GET":
+                result = await self._call(
+                    lambda: service.result(job_id)
+                )
+                await self._respond(writer, 200, result_to_dict(result))
+                return
+            if rest == ["events"] and method == "GET":
+                await self._stream_events(writer, job_id, query, headers)
+                return
+        await self._respond(
+            writer, 404,
+            {"error": {"type": "ServiceError",
+                       "message": f"no such resource {path!r}"}},
+        )
+
+    async def _submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FormatError(f"request body is not JSON: {exc}") from None
+        if not isinstance(doc, dict) or "circuit" not in doc:
+            raise FormatError(
+                "submit body must be a JSON object with a 'circuit' key"
+            )
+        circuit = circuit_from_dict(doc["circuit"], source="<http>")
+        config = config_from_dict(doc.get("config") or {})
+        kwargs: Dict[str, Any] = {}
+        for key in (
+            "family", "width", "w_max", "engine", "tenant", "priority",
+            "deadline_s", "net_deadline_s",
+        ):
+            if doc.get(key) is not None:
+                kwargs[key] = doc[key]
+        record = await self._call(
+            lambda: self.service.submit(circuit, config=config, **kwargs)
+        )
+        await self._respond(writer, 201, record.to_dict())
+
+    # ------------------------------------------------------------------
+    # SSE progress streaming
+    # ------------------------------------------------------------------
+    async def _stream_events(
+        self,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+    ) -> None:
+        # existence check first: an unknown job must 404 before any
+        # stream bytes are committed
+        status = await self._call(lambda: self.service.status(job_id))
+        raw = headers.get(
+            "last-event-id", query.get("last_event_id", "0")
+        )
+        try:
+            sent = max(0, int(raw))
+        except ValueError:
+            sent = 0
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+            b": stream open\n\n"
+        )
+        await writer.drain()
+        log_path = self.service.store.log_path(job_id)
+        loop = asyncio.get_running_loop()
+        last_activity = loop.time()
+
+        async def flush_log() -> int:
+            nonlocal sent, last_activity
+            lines = await self._call(
+                lambda: _read_log_lines(log_path, sent)
+            )
+            for line in lines:
+                sent += 1
+                writer.write(
+                    f"id: {sent}\nevent: trace\n"
+                    f"data: {line}\n\n".encode("utf-8")
+                )
+            if lines:
+                last_activity = loop.time()
+                await writer.drain()
+            return len(lines)
+
+        while True:
+            await flush_log()
+            status = await self._call(
+                lambda: self.service.status(job_id)
+            )
+            if status["state"] in TERMINAL_STATES:
+                # drain whatever landed between the flush and the poll,
+                # then close with the terminal record
+                await flush_log()
+                writer.write(
+                    f"event: state\ndata: "
+                    f"{json.dumps(status, sort_keys=True)}\n\n".encode()
+                )
+                await writer.drain()
+                return
+            if loop.time() - last_activity >= self.sse_heartbeat_s:
+                beat = await self._call(
+                    lambda: self.service.store.heartbeat_info(job_id)
+                )
+                doc = {
+                    "at": time.time(),
+                    "state": status["state"],
+                    "worker": (beat or {}).get("worker"),
+                }
+                writer.write(
+                    f"event: heartbeat\ndata: "
+                    f"{json.dumps(doc, sort_keys=True)}\n\n".encode()
+                )
+                await writer.drain()
+                last_activity = loop.time()
+            await asyncio.sleep(self.sse_poll_s)
+
+
+class BackgroundServer:
+    """A :class:`ServiceHTTP` on its own event-loop thread.
+
+    The embedding form (tests, notebooks, a worker process that also
+    answers HTTP): ``start()`` returns the bound ``(host, port)``,
+    ``stop()`` tears the loop down.  Usable as a context manager.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 **kwargs: Any):
+        self.frontend = ServiceHTTP(service, host, port, **kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-http",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise ServiceError("HTTP front end failed to start in time")
+        if self._error is not None:
+            raise ServiceError(
+                f"HTTP front end failed to start: {self._error!r}"
+            )
+        assert self.frontend.bound is not None
+        return self.frontend.bound
+
+    async def _main(self) -> None:
+        try:
+            await self.frontend.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.frontend.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    workers: int = 1,
+    poll_s: float = 0.1,
+    install_signal_handlers: bool = True,
+    on_bound: Optional[Callable[[Tuple[str, int]], None]] = None,
+) -> int:
+    """Run the worker pool *and* the HTTP front end until signalled.
+
+    The worker pool (:meth:`RoutingService.serve`) runs on background
+    threads — including its periodic stale-job takeover — while the
+    main thread owns the asyncio loop.  SIGTERM/SIGINT request a
+    graceful drain: no new claims, in-flight jobs finish, the socket
+    closes, and the call returns how many jobs the pool processed.
+    """
+    frontend = ServiceHTTP(service, host, port)
+    processed: List[int] = [0]
+
+    def pool() -> None:
+        processed[0] = service.serve(
+            workers=workers,
+            poll_s=poll_s,
+            install_signal_handlers=False,
+        )
+
+    async def main() -> None:
+        bound = await frontend.start()
+        if on_bound is not None:
+            on_bound(bound)
+        print(f"http: listening on {bound[0]}:{bound[1]}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def request_stop() -> None:
+            service.supervisor.request_drain()
+            stop.set()
+
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, request_stop)
+        worker_thread = threading.Thread(
+            target=pool, name="repro-http-pool", daemon=True
+        )
+        worker_thread.start()
+        try:
+            await stop.wait()
+        finally:
+            await frontend.stop()
+        while worker_thread.is_alive():
+            await asyncio.sleep(0.1)
+
+    asyncio.run(main())
+    return processed[0]

@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
-from ..errors import JobError, ServiceError
+from ..errors import JobError, ServiceError, UnknownJobError
 from .journal import Journal
 
 #: every job state
@@ -95,6 +95,10 @@ class JobRecord:
     state: str = "queued"
     tenant: str = "default"
     fingerprint: str = ""
+    #: claim preference — higher priorities are claimed first; ties
+    #: break FIFO on the monotonic job id.  Journaled at submit so the
+    #: ordering survives restart.
+    priority: int = 0
     #: claim count — 1 on the first run, +1 per requeue/retry
     attempts: int = 0
     worker: Optional[str] = None
@@ -113,6 +117,10 @@ class JobRecord:
     total_wirelength: Optional[float] = None
     #: True once the result passed independent verification
     verified: bool = False
+    #: True once the eviction sweep reclaimed this job's result.json —
+    #: the job stays ``done`` (its history is truth) but the artifact
+    #: is gone and the fingerprint no longer serves dedupe hits
+    result_evicted: bool = False
     #: requeue reasons, newest last (crash recovery, takeover, retry)
     requeues: List[str] = field(default_factory=list)
 
@@ -202,7 +210,7 @@ class JobStore:
         try:
             return self.jobs[job_id]
         except KeyError:
-            raise JobError(
+            raise UnknownJobError(
                 f"unknown job {job_id!r}", job_id=job_id
             ) from None
 
@@ -270,6 +278,8 @@ class JobStore:
                 "fingerprint", record.fingerprint
             )
             record.submitted_at = event.get("at", record.submitted_at)
+            if "priority" in event:
+                record.priority = int(event["priority"])
             self.jobs[job_id] = record
             return record
         record = self.jobs.get(job_id)
@@ -305,6 +315,9 @@ class JobStore:
             return record
         if kind == "cancel_requested":
             record.cancel_requested = True
+            return record
+        if kind == "result_evicted":
+            record.result_evicted = True
             return record
         raise ServiceError(f"unknown journal event type {kind!r}")
 
@@ -366,6 +379,7 @@ class JobStore:
         *,
         fingerprint: str,
         tenant: str,
+        priority: int = 0,
     ) -> JobRecord:
         """Persist a new job: request file first, then the journal.
 
@@ -388,6 +402,7 @@ class JobStore:
                     "job": job_id,
                     "tenant": tenant,
                     "fingerprint": fingerprint,
+                    "priority": int(priority),
                     "at": _now(),
                 }
             )
@@ -506,10 +521,102 @@ class JobStore:
         if (
             record is None
             or record.state != "done"
+            or record.result_evicted
             or not os.path.exists(self.result_path(job_id))
         ):
             return None
+        if not self.readonly:
+            # stamp the hit: the eviction sweep's LRU ordering is the
+            # last time a cached result was *served*, not written
+            doc["served_at"] = _now()
+            try:
+                _atomic_write_json(path, doc)
+            except ServiceError:  # pragma: no cover - disk trouble
+                pass
         return job_id
+
+    def result_last_used(self, record: JobRecord) -> float:
+        """When this job's cached result last earned its keep.
+
+        The dedupe index entry's ``served_at`` (stamped on every
+        lookup hit) when this job is the donor, else the job's own
+        completion time — the LRU key for the eviction sweep.
+        """
+        used = record.finished_at or record.submitted_at or 0.0
+        try:
+            with open(
+                self.index_path(record.fingerprint), "r", encoding="utf-8"
+            ) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return used
+        if isinstance(doc, dict) and doc.get("job") == record.job_id:
+            for key in ("served_at", "at"):
+                if isinstance(doc.get(key), (int, float)):
+                    return max(used, doc[key])
+        return used
+
+    def result_usage(self) -> List[Dict[str, Any]]:
+        """Every evictable cached result: job, bytes, last-used stamp.
+
+        Only ``done`` jobs with a live (non-evicted) ``result.json``
+        count toward the result store's footprint.
+        """
+        usage = []
+        for record in self.records():
+            if record.state != "done" or record.result_evicted:
+                continue
+            try:
+                size = os.path.getsize(self.result_path(record.job_id))
+            except OSError:
+                continue
+            usage.append(
+                {
+                    "job": record.job_id,
+                    "fingerprint": record.fingerprint,
+                    "bytes": size,
+                    "last_used": self.result_last_used(record),
+                }
+            )
+        return usage
+
+    def evict_result(self, job_id: str) -> JobRecord:
+        """Journal, then physically reclaim, one job's cached result.
+
+        Journal-first ordering makes the sweep crash-safe: a crash
+        after the append but before the unlink leaves a journaled
+        eviction whose cleanup :meth:`reconcile` completes on the next
+        open, and replaying the event is idempotent.  The dedupe index
+        entry is removed when it points at this job.
+        """
+        record = self.get(job_id)
+        self.commit(
+            {"type": "result_evicted", "job": job_id, "at": _now()}
+        )
+        self._remove_result_files(record)
+        return record
+
+    def _remove_result_files(self, record: JobRecord) -> None:
+        """Unlink an evicted job's result artifact + its index entry."""
+        for path in (
+            self.result_path(record.job_id),
+            self.trace_path(record.job_id),
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        index = self.index_path(record.fingerprint)
+        try:
+            with open(index, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if isinstance(doc, dict) and doc.get("job") == record.job_id:
+            try:
+                os.unlink(index)
+            except OSError:  # pragma: no cover - racing unlink
+                pass
 
     # ------------------------------------------------------------------
     # heartbeats (not journaled — liveness, not history)
@@ -576,7 +683,10 @@ class JobStore:
           the service is, by definition);
         * ``cancelled`` — interrupted jobs with a pending cancel;
         * ``result_lost`` — jobs journaled ``done`` whose result file
-          vanished, re-queued to route again;
+          vanished, re-queued to route again (a journaled *eviction* is
+          deliberate, not loss: evicted jobs stay ``done``);
+        * ``eviction_completed`` — journaled evictions whose file
+          cleanup a crash interrupted, finished now;
         * ``snapshot_rebuilt`` — state files that were missing or
           damaged (e.g. the ``corrupt_job_state`` fault) rewritten
           from the journal's truth.
@@ -590,6 +700,7 @@ class JobStore:
             "requeued": [],
             "cancelled": [],
             "result_lost": [],
+            "eviction_completed": [],
             "snapshot_rebuilt": [],
         }
         jobs_root = os.path.join(self.root, "jobs")
@@ -612,6 +723,7 @@ class JobStore:
                     "job": name,
                     "tenant": request.get("tenant", "default"),
                     "fingerprint": request.get("fingerprint", ""),
+                    "priority": int(request.get("priority", 0) or 0),
                     "at": _now(),
                 }
             )
@@ -624,6 +736,12 @@ class JobStore:
                 else:
                     self.requeue(record.job_id, "crash_recovery")
                     summary["requeued"].append(record.job_id)
+            elif record.state == "done" and record.result_evicted:
+                if os.path.exists(self.result_path(record.job_id)):
+                    # a crash landed between the eviction append and
+                    # the unlink: finish what the journal promised
+                    self._remove_result_files(record)
+                    summary["eviction_completed"].append(record.job_id)
             elif record.state == "done" and not os.path.exists(
                 self.result_path(record.job_id)
             ):

@@ -4,9 +4,13 @@ states no matter what dies underneath them.
 One :class:`JobSupervisor` owns the claim/run/finish loop around a
 :class:`~repro.service.store.JobStore`:
 
-* **claiming** is FIFO over the durable queue (job ids are monotonic),
-  under one lock, journaled before any work starts — two workers can
-  never both own a job;
+* **claiming** is priority-then-FIFO over the durable queue: a higher
+  journaled ``priority`` (see
+  :meth:`~repro.service.admission.AdmissionPolicy.priority_for`) is
+  claimed first, ties break on the monotonic job id.  Claims happen
+  under one lock and are journaled before any work starts — two
+  workers can never both own a job, and the ordering survives restart
+  because the priority rides in the ``submitted`` journal event;
 * **running** reuses the engine exactly as the CLI does:
   :class:`~repro.engine.RoutingSession` for fixed-width requests,
   :func:`~repro.router.channel_width.minimum_channel_width` for sweep
@@ -95,6 +99,7 @@ class JobSupervisor:
         retry_policy: Optional[RetryPolicy] = None,
         stale_after_s: float = DEFAULT_STALE_AFTER_S,
         faults=None,
+        eviction=None,
     ):
         self.store = store
         self.lock = lock or threading.RLock()
@@ -102,6 +107,10 @@ class JobSupervisor:
         self.retry_policy = retry_policy or RetryPolicy()
         self.stale_after_s = stale_after_s
         self.faults = faults
+        #: optional :class:`~repro.service.eviction.EvictionPolicy`;
+        #: when set, a sweep runs after every job completion so the
+        #: result store converges to its caps while serving
+        self.eviction = eviction
         self._drain = threading.Event()
 
     # ------------------------------------------------------------------
@@ -119,15 +128,22 @@ class JobSupervisor:
     # claiming
     # ------------------------------------------------------------------
     def claim_next(self, worker: str) -> Optional[JobRecord]:
-        """Journal a claim on the oldest runnable job, if any."""
+        """Journal a claim on the best runnable job, if any.
+
+        "Best" is highest journaled priority first, oldest job id
+        within a priority level — so a full queue never starves a
+        high-priority tenant behind earlier bulk submissions.
+        """
         with self.lock:
             if self.draining:
                 return None
             # see submissions/cancellations from other processes
             self.store.refresh()
-            for record in self.store.records():
-                if record.state != "queued":
-                    continue
+            runnable = sorted(
+                (r for r in self.store.records() if r.state == "queued"),
+                key=lambda r: (-r.priority, r.job_id),
+            )
+            for record in runnable:
                 if record.cancel_requested:
                     self.store.transition(record.job_id, "cancelled")
                     continue
@@ -227,7 +243,9 @@ class JobSupervisor:
         token = record.attempts
         for attempt in range(self.retry_policy.max_attempts):
             try:
-                return self._attempt(record, worker)
+                out = self._attempt(record, worker)
+                self._sweep_results()
+                return out
             except JournalError:
                 # the store itself is damaged: there is no safe way to
                 # journal a failure, so this must surface loudly
@@ -438,6 +456,13 @@ class JobSupervisor:
                 total_wirelength=result.total_wirelength,
                 verified=True,
             )
+
+    def _sweep_results(self) -> None:
+        """Run the configured eviction sweep after a completion."""
+        if self.eviction is None:
+            return
+        with self.lock:
+            self.eviction.sweep(self.store)
 
     # ------------------------------------------------------------------
     # live progress
