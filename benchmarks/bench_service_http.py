@@ -11,7 +11,12 @@ loop.  Two measurements:
   verification and result fetch;
 * **throughput (jobs/min)** at 1, 8 and 32 concurrent clients, every
   submission a distinct circuit (distinct fingerprints, so dedupe
-  never short-circuits the route).
+  never short-circuits the route);
+* **SSE fan-out** at 1, 32 and 256 concurrent subscribers on one
+  job's event stream — the broadcast hub must serve them all from
+  exactly one log tailer, every subscriber must receive every trace
+  line plus the terminal state, and the bench reports aggregate
+  delivery rate (events/s across all subscribers).
 
 Every job's result is fetched over the wire and must be
 checker-verified (``verified=True`` on the terminal record).
@@ -52,6 +57,8 @@ BENCH_PATH = REPO_ROOT / "BENCH_service_http.json"
 
 #: concurrent-client sweep required by the service milestone
 CLIENT_COUNTS = (1, 8, 32)
+#: concurrent-subscriber sweep for the SSE broadcast hub
+SSE_SUBSCRIBER_COUNTS = (1, 32, 256)
 WORKERS = 4
 KMB = {"algorithm": "kmb"}
 
@@ -163,10 +170,81 @@ def measure_throughput(
     }
 
 
+def measure_sse_fanout(subscribers: int, lines: int, seed: int) -> dict:
+    """Aggregate SSE delivery rate, N subscribers on one job.
+
+    Runs against a fresh store with no worker pool so the job stays
+    queued: the bench appends synthetic trace lines to the job's
+    ``log.jsonl`` (exactly what the engine does) and cancels the job
+    to fan the terminal state out.  Every subscriber must see every
+    line; the hub must have started exactly one tailer.
+    """
+    with tempfile.TemporaryDirectory() as root:
+        service = RoutingService(root)
+        background = BackgroundServer(service)
+        host, port = background.start()
+        url = f"http://{host}:{port}"
+        try:
+            client = ServiceClient(url)
+            job_id = client.submit(
+                _circuit(seed), config=KMB, width=6, family="xc3000"
+            )["job_id"]
+            counts = [0] * subscribers
+            threads = []
+
+            def watch(index: int) -> None:
+                own = ServiceClient(url)
+                for event, _data, _eid in own.events(
+                    job_id, heartbeats=False
+                ):
+                    if event == "trace":
+                        counts[index] += 1
+
+            for i in range(subscribers):
+                thread = threading.Thread(
+                    target=watch, args=(i,), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+            hub = background.frontend.hub
+            deadline = time.monotonic() + 60
+            while hub.stats()["subscribers"] < subscribers:
+                assert time.monotonic() < deadline, hub.stats()
+                time.sleep(0.01)
+            begin = time.perf_counter()
+            log_path = service.store.log_path(job_id)
+            with open(log_path, "a", encoding="utf-8") as fh:
+                for i in range(lines):
+                    fh.write(json.dumps(
+                        {"type": "bench", "i": i, "pad": "x" * 64}
+                    ) + "\n")
+            client.cancel(job_id)
+            for thread in threads:
+                thread.join(timeout=300)
+            elapsed = time.perf_counter() - begin
+            assert not any(t.is_alive() for t in threads)
+            assert counts == [lines] * subscribers, (
+                "lossy fan-out", sorted(set(counts)),
+            )
+            stats = hub.stats()
+            assert stats["tails_started"] == 1, stats
+            return {
+                "subscribers": subscribers,
+                "lines": lines,
+                "elapsed_s": elapsed,
+                "events_per_s": subscribers * lines / elapsed,
+                "tails_started": stats["tails_started"],
+                "lagged": stats["dropped_slow"],
+            }
+        finally:
+            background.stop()
+
+
 def run_bench() -> dict:
     latency_jobs = 10 if full_scale() else 4
     jobs_per_client = 4 if full_scale() else 2
-    doc = {"workers": WORKERS, "throughput": {}}
+    sse_lines = 400 if full_scale() else 120
+    doc = {"workers": WORKERS, "throughput": {}, "sse_fanout": {}}
     with tempfile.TemporaryDirectory() as root:
         service, url, stop = _serve(root)
         try:
@@ -179,6 +257,10 @@ def run_bench() -> dict:
                 seed0 += 10_000
         finally:
             stop()
+    for subscribers in SSE_SUBSCRIBER_COUNTS:
+        doc["sse_fanout"][str(subscribers)] = measure_sse_fanout(
+            subscribers, sse_lines, seed=90_000 + subscribers
+        )
     return doc
 
 
@@ -200,6 +282,15 @@ def render(doc: dict) -> str:
             f"{row['jobs_per_min']:8.1f} jobs/min "
             f"({row['jobs']} jobs in {row['elapsed_s']:.2f} s)"
         )
+    lines.append("  SSE fan-out (one job, one shared tailer):")
+    for subscribers in SSE_SUBSCRIBER_COUNTS:
+        row = doc["sse_fanout"][str(subscribers)]
+        lines.append(
+            f"    {row['subscribers']:>3} subscriber(s): "
+            f"{row['events_per_s']:9.0f} events/s aggregate "
+            f"({row['lines']} lines in {row['elapsed_s']:.2f} s, "
+            f"{row['tails_started']} tailer)"
+        )
     return "\n".join(lines)
 
 
@@ -218,6 +309,10 @@ def test_service_http_bench():
     assert doc["latency"]["median_s"] > 0
     for clients in CLIENT_COUNTS:
         assert doc["throughput"][str(clients)]["jobs_per_min"] > 0
+    for subscribers in SSE_SUBSCRIBER_COUNTS:
+        row = doc["sse_fanout"][str(subscribers)]
+        assert row["tails_started"] == 1
+        assert row["events_per_s"] > 0
 
 
 if __name__ == "__main__":  # pragma: no cover - script entry

@@ -453,6 +453,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="claim priority for a tenant's jobs (repeatable; higher "
              "runs first)",
     )
+    governance = j_serve.add_argument_group(
+        "overload protection (with --http)"
+    )
+    governance.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="concurrent TCP connections before 503 + Retry-After",
+    )
+    governance.add_argument(
+        "--max-sse-subscribers", type=int, default=None, metavar="N",
+        help="concurrent SSE subscribers before 429 SSE_LIMIT",
+    )
+    governance.add_argument(
+        "--max-inflight-per-tenant", type=int, default=None,
+        metavar="N",
+        help="in-flight submits per tenant before 429 INFLIGHT_LIMIT",
+    )
+    governance.add_argument(
+        "--queue-shed-fraction", type=float, default=None,
+        metavar="F",
+        help="degrade once queue depth exceeds this fraction of the "
+             "admission cap (0..1)",
+    )
+    governance.add_argument(
+        "--shed-priority-floor", type=int, default=None, metavar="P",
+        help="while degraded, shed submits below this priority with "
+             "429 + Retry-After",
+    )
     return parser
 
 
@@ -890,7 +917,9 @@ def _cmd_jobs_serve(args) -> int:
         AdmissionPolicy,
         DEFAULT_STALE_AFTER_S,
         EvictionPolicy,
+        OverloadPolicy,
         RoutingService,
+        ServerLimits,
         serve_http,
     )
 
@@ -934,8 +963,30 @@ def _cmd_jobs_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        limit_overrides = {
+            name: value
+            for name, value in (
+                ("max_connections", args.max_connections),
+                ("max_sse_subscribers", args.max_sse_subscribers),
+                (
+                    "max_inflight_per_tenant",
+                    args.max_inflight_per_tenant,
+                ),
+            )
+            if value is not None
+        }
+        overload_overrides = {
+            name: value
+            for name, value in (
+                ("queue_shed_fraction", args.queue_shed_fraction),
+                ("shed_priority_floor", args.shed_priority_floor),
+            )
+            if value is not None
+        }
         processed = serve_http(
-            service, host or "127.0.0.1", port, workers=args.workers
+            service, host or "127.0.0.1", port, workers=args.workers,
+            limits=ServerLimits(**limit_overrides),
+            overload=OverloadPolicy(**overload_overrides),
         )
     else:
         processed = service.serve(

@@ -25,8 +25,15 @@ Layering (each module usable on its own):
 * :mod:`repro.service.http` — :class:`ServiceHTTP` / :func:`serve_http`:
   the stdlib-asyncio HTTP front end (submit, status, result, cancel,
   metrics, SSE progress streaming);
+* :mod:`repro.service.hub` — :class:`EventHub`: the shared SSE
+  broadcast hub (one log tailer per job, bounded per-subscriber
+  queues, slow consumers shed to a Last-Event-ID reconnect);
+* :mod:`repro.service.overload` — :class:`ServerLimits` /
+  :class:`OverloadPolicy`: connection governance and load shedding
+  for the front end, with honest ``degraded`` health and metrics;
 * :mod:`repro.service.client` — :class:`ServiceClient`: the typed
-  HTTP client with retry-with-backoff and exception round-tripping.
+  HTTP client with retry-with-backoff, ``Retry-After`` honoring,
+  exception round-tripping and a client-side circuit breaker.
 
 See ``docs/service.md`` for the state machine, the journal format and
 the recovery semantics, and ``tests/test_service.py`` for the
@@ -46,7 +53,12 @@ from .api import (
     config_to_dict,
     request_fingerprint,
 )
-from .client import ServiceClient, TransportError
+from .client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServiceClient,
+    TransportError,
+)
 from .eviction import EvictionPolicy
 from .http import (
     HTTP_API_VERSION,
@@ -54,6 +66,8 @@ from .http import (
     ServiceHTTP,
     serve_http,
 )
+from .hub import EventHub
+from .overload import HTTPStats, OverloadPolicy, ServerLimits
 from .journal import JOURNAL_SCHEMA, Journal, read_journal
 from .store import (
     ACTIVE_STATES,
@@ -79,6 +93,12 @@ __all__ = [
     "serve_http",
     "ServiceClient",
     "TransportError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "EventHub",
+    "ServerLimits",
+    "OverloadPolicy",
+    "HTTPStats",
     "HTTP_API_VERSION",
     "DEFAULT_PRIORITY",
     "request_fingerprint",

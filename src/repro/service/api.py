@@ -383,6 +383,28 @@ class RoutingService:
             },
         }
 
+    def pressure(self) -> Dict[str, Any]:
+        """A cheap load snapshot for overload assessment (stable keys).
+
+        Unlike :meth:`metrics` this does *not* refresh from the
+        journal — it is called on the hot submit path by the HTTP
+        front end's load shedder, so it reads the in-memory store
+        (kept current by this process's own submits and workers) and
+        measures peer-process traffic as journal lag instead: bytes
+        appended by other writers that this node has not folded yet.
+        """
+        supervisor = self.supervisor
+        with self.lock:
+            depth = self.store.active_count()
+            lag = self.store.journal.lag_bytes()
+        return {
+            "queue_depth": depth,
+            "max_queue_depth": self.policy.max_queue_depth,
+            "workers_busy": supervisor.workers_busy,
+            "workers_total": supervisor.workers_total,
+            "journal_lag_bytes": lag,
+        }
+
     def evict_results(self) -> List[str]:
         """Run one eviction sweep now; returns evicted job ids."""
         if self.eviction is None:
@@ -444,6 +466,8 @@ class RoutingService:
         processed = [0]
         busy = [0]
         counter_lock = threading.Lock()
+        supervisor.workers_total = max(1, workers)
+        supervisor.workers_busy = 0
 
         if install_signal_handlers:
             for sig in (signal.SIGTERM, signal.SIGINT):
@@ -461,6 +485,7 @@ class RoutingService:
                     continue
                 with counter_lock:
                     busy[0] += 1
+                    supervisor.workers_busy = busy[0]
                 try:
                     supervisor.run_job(record, name)
                 except Exception:
@@ -473,6 +498,7 @@ class RoutingService:
                 finally:
                     with counter_lock:
                         busy[0] -= 1
+                        supervisor.workers_busy = busy[0]
                         processed[0] += 1
 
         threads = [
@@ -497,4 +523,7 @@ class RoutingService:
             supervisor.request_drain()
             for t in threads:
                 t.join()
+        finally:
+            supervisor.workers_total = 0
+            supervisor.workers_busy = 0
         return processed[0]

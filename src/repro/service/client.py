@@ -18,16 +18,31 @@ access on the client side.  It reverses the server's wire contract:
   stream without replaying lines the caller already saw.
 
 Transient failures (connection reset, refused, any 5xx) are retried
-with exponential backoff.  Retrying a *submit* is safe by design: the
+with exponential backoff — except on *non-idempotent* requests
+(``cancel``), where an ambiguous transport failure after the request
+may already have reached the server raises immediately instead of
+risking a double effect.  Retrying a *submit* is safe by design: the
 request fingerprint dedupes a resubmission server-side, so the worst
 case of "the ack was lost after the journal write" is a second record
 that immediately adopts the first one's result.
+
+Two overload-aware behaviors ride on the retry loop:
+
+* a server-supplied ``Retry-After`` header on 429/503 replaces the
+  exponential schedule for that wait — when the service sheds load it
+  also tells the client when to come back, and the client listens;
+* a :class:`CircuitBreaker` (on by default) opens after consecutive
+  transport/5xx failures and fails fast with
+  :class:`CircuitOpenError` while open, sending a single half-open
+  probe after ``reset_after_s`` — a dead server costs one connection
+  attempt per reset window instead of one per caller.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 import urllib.parse
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -47,6 +62,113 @@ _RETRYABLE_STATUS = frozenset({500, 502, 503, 504})
 
 class TransportError(ServiceError):
     """The client could not complete an HTTP exchange after retries."""
+
+
+class CircuitOpenError(TransportError):
+    """Failing fast: the client-side circuit breaker is open.
+
+    Raised without touching the network.  ``retry_after_s`` says how
+    long until the breaker will allow a half-open probe.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0):
+        self.retry_after_s = max(0.0, retry_after_s)
+        super().__init__(message)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker shared by one client (thread-safe).
+
+    *Closed* passes every attempt through.  After
+    ``failure_threshold`` consecutive transport/5xx failures it
+    *opens*: attempts fail fast with :class:`CircuitOpenError` for
+    ``reset_after_s`` seconds.  Then it goes *half-open*: exactly one
+    probe is let through — success closes the breaker, failure reopens
+    it for another window.  Any successful HTTP exchange (including a
+    4xx refusal, which proves the server is alive) closes it.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 8,
+        reset_after_s: float = 2.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s <= 0:
+            raise ValueError("reset_after_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (advisory snapshot)."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._clock() - self._opened_at >= self.reset_after_s:
+                return "half-open"
+            return "open"
+
+    def before_attempt(self) -> None:
+        """Gate one attempt; raises :class:`CircuitOpenError` if open."""
+        with self._lock:
+            if self._opened_at is None:
+                return
+            remaining = self.reset_after_s - (
+                self._clock() - self._opened_at
+            )
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit breaker open after {self._failures} "
+                    f"consecutive failure(s); probe in {remaining:.2f}s",
+                    retry_after_s=remaining,
+                )
+            if self._probing:
+                raise CircuitOpenError(
+                    "circuit breaker half-open; a probe is already "
+                    "in flight",
+                    retry_after_s=self.reset_after_s,
+                )
+            self._probing = True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if (
+                self._failures >= self.failure_threshold
+                or self._opened_at is not None
+            ):
+                # trip, or re-arm an open/half-open breaker's window
+                self._opened_at = self._clock()
+
+
+#: sentinel: "construct the default breaker" (pass ``None`` to disable)
+_DEFAULT_BREAKER: Any = object()
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header (date form unsupported)."""
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
 
 
 def exception_from_document(doc: Dict[str, Any], status: int) -> ReproError:
@@ -85,7 +207,11 @@ class ServiceClient:
 
     ``base_url`` is ``http://host:port`` (a path prefix is honoured).
     ``retries`` bounds *re*-attempts per request; backoff doubles from
-    ``backoff_s`` up to ``max_backoff_s``.
+    ``backoff_s`` up to ``max_backoff_s``, except where the server's
+    ``Retry-After`` names the wait.  ``breaker`` is the client-side
+    circuit breaker — defaults to a fresh :class:`CircuitBreaker`;
+    pass ``None`` to disable, or share one instance across clients to
+    pool their failure evidence.
     """
 
     def __init__(
@@ -96,6 +222,7 @@ class ServiceClient:
         retries: int = 3,
         backoff_s: float = 0.2,
         max_backoff_s: float = 5.0,
+        breaker: Optional[CircuitBreaker] = _DEFAULT_BREAKER,
     ):
         split = urllib.parse.urlsplit(base_url)
         if split.scheme not in ("http", ""):
@@ -112,6 +239,9 @@ class ServiceClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
+        self.breaker = (
+            CircuitBreaker() if breaker is _DEFAULT_BREAKER else breaker
+        )
 
     # ------------------------------------------------------------------
     # transport
@@ -121,8 +251,18 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        *,
+        idempotent: bool = True,
     ) -> Any:
-        """One JSON exchange with retry-with-backoff on 5xx/transport."""
+        """One JSON exchange with retry-with-backoff on 5xx/transport.
+
+        A server-supplied ``Retry-After`` on 429/503 overrides the
+        exponential schedule for that wait.  With ``idempotent=False``
+        a failure that is *ambiguous* (the request may have reached the
+        server: reset mid-exchange, 5xx) raises immediately — only a
+        connection refused outright (provably never delivered) is
+        retried.
+        """
         payload = None
         headers = {"Connection": "close"}
         if body is not None:
@@ -130,10 +270,13 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         delay = self.backoff_s
         last: Optional[BaseException] = None
+        last_refusal: Optional[ReproError] = None
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(delay)
                 delay = min(delay * 2, self.max_backoff_s)
+            if self.breaker is not None:
+                self.breaker.before_attempt()
             conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout_s
             )
@@ -144,26 +287,62 @@ class ServiceClient:
                 response = conn.getresponse()
                 raw = response.read()
                 status = response.status
+                retry_after = _parse_retry_after(
+                    response.headers.get("Retry-After")
+                )
             except (OSError, http.client.HTTPException) as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if not idempotent and not isinstance(
+                    exc, ConnectionRefusedError
+                ):
+                    raise TransportError(
+                        f"{method} {path}: ambiguous transport failure "
+                        f"on non-idempotent request (not retried): "
+                        f"{exc!r}"
+                    ) from exc
                 last = exc
                 continue
             finally:
                 conn.close()
             if status in _RETRYABLE_STATUS:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 last = TransportError(
                     f"{method} {path} -> HTTP {status}: "
                     f"{raw[:200].decode('utf-8', 'replace')}"
                 )
+                if not idempotent:
+                    raise last
+                if retry_after is not None:
+                    delay = min(retry_after, self.max_backoff_s)
                 continue
+            if self.breaker is not None:
+                # any response below 5xx proves the server is alive
+                self.breaker.record_success()
             try:
                 doc = json.loads(raw.decode("utf-8")) if raw else None
             except ValueError:
                 raise TransportError(
                     f"{method} {path} -> HTTP {status} with non-JSON body"
                 ) from None
+            if (
+                status == 429
+                and retry_after is not None
+                and idempotent
+                and attempt < self.retries
+            ):
+                # the server shed this request and told us when to
+                # come back — honor its schedule, not ours
+                last_refusal = exception_from_document(doc, status)
+                last = last_refusal
+                delay = min(retry_after, self.max_backoff_s)
+                continue
             if status >= 400:
                 raise exception_from_document(doc, status)
             return doc
+        if last_refusal is not None:
+            raise last_refusal
         raise TransportError(
             f"{method} {path} failed after {self.retries + 1} attempt(s): "
             f"{last!r}"
@@ -226,8 +405,12 @@ class ServiceClient:
         return result_from_dict(doc, source=f"<http:{job_id}>")
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
+        # not idempotent: a cancel that raced a completion must not be
+        # blindly replayed after an ambiguous transport failure — the
+        # caller decides whether to re-issue
         return self._request(
-            "DELETE", f"/v1/jobs/{urllib.parse.quote(job_id)}"
+            "DELETE", f"/v1/jobs/{urllib.parse.quote(job_id)}",
+            idempotent=False,
         )
 
     def wait(

@@ -191,6 +191,20 @@ class Journal:
     def next_seq(self) -> int:
         return self._seq + 1
 
+    def lag_bytes(self) -> int:
+        """Bytes appended by peer processes but not folded here yet.
+
+        A lock-free gauge (one ``stat`` call): how far this instance's
+        consumed offset trails the file on disk.  Persistent growth
+        means peers are outpacing our :meth:`refresh` cadence — used by
+        the HTTP front end as an overload signal.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        return max(0, size - self._offset)
+
     @contextmanager
     def lock(self):
         """Exclusive inter-process lock on the journal (reentrant).

@@ -1,0 +1,219 @@
+"""Overload-protection primitives for the HTTP front end.
+
+Three small pieces, all consumed by :mod:`repro.service.http`:
+
+* :class:`ServerLimits` — static connection/request governance knobs
+  (connection caps, SSE subscriber caps, per-tenant in-flight caps,
+  header/body/idle read deadlines, SSE queue bounds);
+* :class:`OverloadPolicy` — the load-shedding decision: given a
+  pressure snapshot from :meth:`RoutingService.pressure`, decide
+  whether the node is *degraded* and which submits to shed;
+* :class:`HTTPStats` — mutable counters for everything the front end
+  sheds or degrades, surfaced under the ``"http"`` key of
+  ``/v1/metrics`` so operators can see refusals, not just successes.
+
+The policy is deliberately boring: thresholds on queue depth as a
+fraction of the admission cap, on executor backlog per worker, and on
+journal lag (bytes appended by peer processes that this node has not
+folded yet).  Degradation is *honest* — the same assessment drives the
+429 + ``Retry-After`` shed responses, the ``status: degraded`` health
+field, and the metrics counters, so the three views can never
+disagree about why traffic was refused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ServerLimits",
+    "OverloadPolicy",
+    "HTTPStats",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerLimits:
+    """Connection and request governance for :class:`ServiceHTTP`.
+
+    Every limit refuses with a structured JSON error (429/503 + a
+    ``Retry-After`` hint) rather than silently dropping the socket, so
+    well-behaved clients can back off instead of retry-storming.
+    """
+
+    #: maximum concurrently open TCP connections; excess connections
+    #: receive 503 + Retry-After and are closed.
+    max_connections: int = 1024
+    #: maximum concurrent SSE subscribers across all jobs.
+    max_sse_subscribers: int = 512
+    #: maximum in-flight (accepted, not yet answered) submits per
+    #: tenant; excess receive 429 INFLIGHT_LIMIT.
+    max_inflight_per_tenant: int = 16
+    #: seconds a client may take to deliver a complete request head
+    #: once it starts sending (slow-loris defense).
+    header_timeout_s: float = 10.0
+    #: seconds a client may take to deliver the declared body.
+    body_timeout_s: float = 30.0
+    #: seconds a keep-alive connection may sit idle between requests.
+    idle_timeout_s: float = 15.0
+    #: bounded per-subscriber SSE queue; a subscriber that falls this
+    #: many events behind the shared tailer is shed.
+    sse_queue_limit: int = 256
+    #: seconds an SSE write may stall in the kernel buffer before the
+    #: subscriber is shed.
+    sse_write_timeout_s: float = 10.0
+    #: optional SO_SNDBUF for SSE sockets — small values make a
+    #: stalled reader hit backpressure quickly (used by tests).
+    sse_send_buffer_bytes: Optional[int] = None
+    #: Retry-After hint (seconds) attached to governance refusals.
+    retry_after_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if self.max_sse_subscribers < 1:
+            raise ValueError("max_sse_subscribers must be >= 1")
+        if self.max_inflight_per_tenant < 1:
+            raise ValueError("max_inflight_per_tenant must be >= 1")
+        if self.sse_queue_limit < 4:
+            raise ValueError("sse_queue_limit must be >= 4")
+        for name in (
+            "header_timeout_s",
+            "body_timeout_s",
+            "idle_timeout_s",
+            "sse_write_timeout_s",
+            "retry_after_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class OverloadPolicy:
+    """When to report ``degraded`` and shed low-priority submits.
+
+    ``assess`` never consults wall-clock state of its own — it is a
+    pure function of the pressure snapshot, which keeps the shed
+    decision, the health report and the metrics flag consistent.
+    """
+
+    #: degrade when queue depth exceeds this fraction of the admission
+    #: policy's ``max_queue_depth``.
+    queue_shed_fraction: float = 0.8
+    #: degrade when queued jobs per worker exceed this backlog
+    #: (executor saturation); ignored while no workers are attached.
+    backlog_per_worker: float = 8.0
+    #: degrade when the journal has this many bytes of peer appends
+    #: not yet folded into the in-memory store.
+    journal_lag_bytes: int = 1 << 20
+    #: while degraded, shed submits whose effective priority is below
+    #: this floor; higher-priority work is still admitted.
+    shed_priority_floor: int = 1
+    #: Retry-After hint (seconds) attached to shed responses.
+    retry_after_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.queue_shed_fraction <= 1.0:
+            raise ValueError("queue_shed_fraction must be in [0, 1]")
+        if self.backlog_per_worker < 0:
+            raise ValueError("backlog_per_worker must be >= 0")
+        if self.journal_lag_bytes < 0:
+            raise ValueError("journal_lag_bytes must be >= 0")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be positive")
+
+    def assess(
+        self, pressure: Mapping[str, Any]
+    ) -> Tuple[bool, List[str]]:
+        """``(degraded, reasons)`` for a pressure snapshot.
+
+        ``pressure`` is the dict returned by
+        :meth:`RoutingService.pressure`; missing keys are treated as
+        zero so a partial snapshot degrades toward "healthy", never
+        toward a spurious shed.
+        """
+        reasons: List[str] = []
+        depth = int(pressure.get("queue_depth") or 0)
+        cap = int(pressure.get("max_queue_depth") or 0)
+        if cap > 0 and depth >= max(
+            1, int(cap * self.queue_shed_fraction + 1e-9)
+        ):
+            reasons.append(
+                f"queue depth {depth}/{cap} over "
+                f"{self.queue_shed_fraction:.0%} shed threshold"
+            )
+        workers = int(pressure.get("workers_total") or 0)
+        if workers > 0:
+            backlog = depth / workers
+            if backlog > self.backlog_per_worker:
+                reasons.append(
+                    f"executor saturated: {backlog:.1f} queued jobs "
+                    f"per worker (> {self.backlog_per_worker:g})"
+                )
+        lag = int(pressure.get("journal_lag_bytes") or 0)
+        if lag > self.journal_lag_bytes:
+            reasons.append(
+                f"journal lag {lag} bytes "
+                f"(> {self.journal_lag_bytes})"
+            )
+        return bool(reasons), reasons
+
+    def should_shed(self, degraded: bool, priority: int) -> bool:
+        """Shed a submit with effective ``priority`` while degraded?"""
+        return degraded and priority < self.shed_priority_floor
+
+
+@dataclasses.dataclass
+class HTTPStats:
+    """Mutable counters behind the ``"http"`` section of /v1/metrics.
+
+    All mutation happens on the server's event loop; reads may come
+    from any thread (plain int loads are atomic under the GIL).
+    """
+
+    connections_total: int = 0
+    connections_open: int = 0
+    connections_peak: int = 0
+    requests_total: int = 0
+    requests_bad: int = 0
+    shed_connections: int = 0
+    shed_inflight: int = 0
+    shed_submits: int = 0
+    shed_sse: int = 0
+    sse_resumes: int = 0
+    sse_dropped_slow: int = 0
+    degraded: bool = False
+
+    def connection_opened(self) -> None:
+        self.connections_total += 1
+        self.connections_open += 1
+        if self.connections_open > self.connections_peak:
+            self.connections_peak = self.connections_open
+
+    def connection_closed(self) -> None:
+        self.connections_open = max(0, self.connections_open - 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "connections": {
+                "total": self.connections_total,
+                "open": self.connections_open,
+                "peak": self.connections_peak,
+            },
+            "requests": {
+                "total": self.requests_total,
+                "bad": self.requests_bad,
+            },
+            "shed": {
+                "connections": self.shed_connections,
+                "inflight": self.shed_inflight,
+                "submits": self.shed_submits,
+                "sse": self.shed_sse,
+            },
+            "sse": {
+                "resumes": self.sse_resumes,
+                "dropped_slow": self.sse_dropped_slow,
+            },
+            "degraded": self.degraded,
+        }

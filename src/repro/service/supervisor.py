@@ -112,6 +112,11 @@ class JobSupervisor:
         #: result store converges to its caps while serving
         self.eviction = eviction
         self._drain = threading.Event()
+        #: worker-pool gauges published by :meth:`RoutingService.serve`
+        #: and read (without locking — plain int loads) by the HTTP
+        #: front end's overload assessment
+        self.workers_total = 0
+        self.workers_busy = 0
 
     # ------------------------------------------------------------------
     # drain

@@ -1,0 +1,249 @@
+"""A fault-injecting TCP proxy for socket-level chaos tests.
+
+Sits between a :class:`ServiceClient` and a :class:`ServiceHTTP`
+server and mistreats connections the way real networks do.  One fault
+is drawn per accepted connection from a seeded RNG (deterministic
+sequence for a given seed + connection order):
+
+========= ==========================================================
+fault     behavior
+========= ==========================================================
+none      forward both directions faithfully
+delay     sleep before connecting upstream (SYN-ish latency spike)
+drop      read a little from the client, then close silently —
+          the request never reaches the server
+reset     like drop, but abort with RST (``SO_LINGER`` zero)
+partial   forward the request, then cut the *response* after N
+          bytes — the server acted, the client can't tell
+trickle   deliver the response a few bytes at a time with delays
+========= ==========================================================
+
+``drop``/``reset`` never touch the upstream, so a request hit by them
+is provably undelivered (safe to retry, even non-idempotent ones);
+``partial`` is the ambiguous case clients must handle with dedupe or
+Last-Event-ID resumes.  Per-fault counts are kept so a soak test can
+assert every fault actually fired.
+
+Not a pytest file (no ``test_`` prefix) — import it from tests:
+``from tests.chaos_proxy import ChaosProxy``.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import socket
+import struct
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ChaosProxy"]
+
+
+class ChaosProxy:
+    """Threaded TCP proxy injecting one fault per connection."""
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        *,
+        seed: int = 0,
+        delay_p: float = 0.0,
+        delay_s: float = 0.05,
+        drop_p: float = 0.0,
+        reset_p: float = 0.0,
+        partial_p: float = 0.0,
+        partial_bytes: int = 64,
+        trickle_p: float = 0.0,
+        trickle_chunk: int = 7,
+        trickle_delay_s: float = 0.002,
+        io_timeout_s: float = 60.0,
+    ):
+        self.upstream = upstream
+        self.delay_s = delay_s
+        self.partial_bytes = partial_bytes
+        self.trickle_chunk = max(1, trickle_chunk)
+        self.trickle_delay_s = trickle_delay_s
+        self.io_timeout_s = io_timeout_s
+        self._faults = (
+            ("drop", drop_p),
+            ("reset", reset_p),
+            ("partial", partial_p),
+            ("trickle", trickle_p),
+            ("delay", delay_p),
+        )
+        if sum(p for _, p in self._faults) > 1.0:
+            raise ValueError("fault probabilities sum over 1.0")
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.counts: "collections.Counter[str]" = collections.Counter()
+        self._count_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._threads: list = []
+        self._conns: set = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(256)
+        self._listener = listener
+        self.address = listener.getsockname()
+        thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self.address
+
+    @property
+    def url(self) -> str:
+        assert self.address is not None, "start() first"
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    def stop(self) -> None:
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in list(self._conns):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=5.0)
+
+    def fault_counts(self) -> Dict[str, int]:
+        with self._count_lock:
+            return dict(self.counts)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _pick_fault(self) -> str:
+        with self._rng_lock:
+            roll = self._rng.random()
+        acc = 0.0
+        for name, prob in self._faults:
+            acc += prob
+            if roll < acc:
+                return name
+        return "none"
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            fault = self._pick_fault()
+            with self._count_lock:
+                self.counts[fault] += 1
+            thread = threading.Thread(
+                target=self._handle,
+                args=(client, fault),
+                name=f"chaos-{fault}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _handle(self, client: socket.socket, fault: str) -> None:
+        self._conns.add(client)
+        server: Optional[socket.socket] = None
+        try:
+            client.settimeout(self.io_timeout_s)
+            if fault in ("drop", "reset"):
+                # let the client commit some bytes, then vanish —
+                # the upstream never sees this request
+                try:
+                    client.recv(512)
+                except OSError:
+                    pass
+                if fault == "reset":
+                    try:
+                        client.setsockopt(
+                            socket.SOL_SOCKET,
+                            socket.SO_LINGER,
+                            struct.pack("ii", 1, 0),
+                        )
+                    except OSError:  # pragma: no cover - platform
+                        pass
+                return
+            if fault == "delay":
+                time.sleep(self.delay_s)
+            try:
+                server = socket.create_connection(
+                    self.upstream, timeout=self.io_timeout_s
+                )
+            except OSError:
+                return
+            self._conns.add(server)
+            server.settimeout(self.io_timeout_s)
+            # requests forward faithfully on a side thread; the
+            # response direction carries the fault
+            up = threading.Thread(
+                target=self._pump,
+                args=(client, server, False, None),
+                name="chaos-up",
+                daemon=True,
+            )
+            up.start()
+            self._threads.append(up)
+            self._pump(
+                server,
+                client,
+                fault == "trickle",
+                self.partial_bytes if fault == "partial" else None,
+            )
+        finally:
+            for sock in (client, server):
+                if sock is None:
+                    continue
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                self._conns.discard(sock)
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        trickle: bool,
+        budget: Optional[int],
+    ) -> None:
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    break
+                if budget is not None:
+                    data = data[:budget]
+                    budget -= len(data)
+                if trickle:
+                    for i in range(0, len(data), self.trickle_chunk):
+                        dst.sendall(data[i:i + self.trickle_chunk])
+                        time.sleep(self.trickle_delay_s)
+                else:
+                    dst.sendall(data)
+                if budget is not None and budget <= 0:
+                    break
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass

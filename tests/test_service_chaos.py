@@ -1,0 +1,243 @@
+"""Socket-level chaos soak for the HTTP service.
+
+Everything flows through :class:`chaos_proxy.ChaosProxy`, which
+injects one seeded fault per TCP connection — delays, silent drops,
+RST aborts, truncated responses, byte-trickled responses.  The bar:
+
+* the server never crashes (``/v1/healthz`` answers directly at the
+  end, and every accepted job reaches a terminal state);
+* every accepted job completes with a result the independent checker
+  certifies at ``level="full"`` — chaos may slow work down, it may
+  never corrupt it;
+* deliberately shed requests (a low-priority submit while degraded)
+  are refused with a typed 429 and counted in ``/v1/metrics``;
+* SSE watchers living through the proxy survive dropped and truncated
+  streams via ``Last-Event-ID`` reconnects without losing or
+  re-seeing a trace line;
+* every configured fault class actually fired (the proxy counts).
+
+Duplicate submits caused by ambiguous faults (a ``partial`` cutting
+the 201 response after the server journaled the job) are absorbed by
+the service's request-fingerprint dedupe: the retry returns the same
+job id, so "accepted jobs" is a set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from tests.chaos_proxy import ChaosProxy
+from repro.errors import AdmissionError, ReproError
+from repro.fpga import circuit_spec, scaled_spec, synthesize_circuit
+from repro.fpga.architecture import xc3000
+from repro.router import RouterConfig
+from repro.service import (
+    AdmissionPolicy,
+    BackgroundServer,
+    OverloadPolicy,
+    RoutingService,
+    ServiceClient,
+    TransportError,
+)
+from repro.validate.checker import verify_result
+
+KMB = RouterConfig(algorithm="kmb")
+JOBS = 8
+WATCHERS = 4
+
+
+def _submit_through_chaos(url, circuit, *, tenant, attempts=30):
+    """Submit with test-level patience on top of client retries."""
+    last = None
+    for _ in range(attempts):
+        client = ServiceClient(
+            url, retries=2, backoff_s=0.05, timeout_s=20.0,
+            breaker=None,
+        )
+        try:
+            return client.submit(
+                circuit, config=KMB, tenant=tenant
+            )
+        except TransportError as exc:
+            last = exc
+            time.sleep(0.05)
+    raise AssertionError(f"submit never got through chaos: {last!r}")
+
+
+def _watch_through_chaos(url, job_id, out, done):
+    """Collect every trace id + the terminal state, surviving faults.
+
+    ``client.events`` already reconnects with ``Last-Event-ID``; this
+    adds test-level patience for runs of consecutive drop faults by
+    re-entering from the last id seen.
+    """
+    seen = 0
+    try:
+        for _ in range(60):
+            client = ServiceClient(
+                url, retries=3, backoff_s=0.05, timeout_s=20.0,
+                breaker=None,
+            )
+            try:
+                for event, _data, eid in client.events(
+                    job_id, last_event_id=seen, heartbeats=False
+                ):
+                    if event == "trace":
+                        out.append(eid)
+                        seen = max(seen, eid)
+                    elif event == "state":
+                        out.append("state")
+                        return
+            except (TransportError, OSError):
+                time.sleep(0.05)
+        out.append("gave-up")
+    finally:
+        done.set()
+
+
+def test_chaos_soak_never_corrupts(tmp_path):
+    spec = scaled_spec(circuit_spec("term1"), 0.22)
+    circuits = {
+        seed: synthesize_circuit(spec, seed=seed)
+        for seed in range(100, 100 + JOBS)
+    }
+    service = RoutingService(
+        str(tmp_path / "store"),
+        policy=AdmissionPolicy(
+            max_queue_depth=32,
+            max_jobs_per_tenant=32,
+            tenant_priorities={"vip": 5},
+        ),
+    )
+    background = BackgroundServer(
+        service,
+        overload=OverloadPolicy(
+            queue_shed_fraction=0.125,  # degraded at 4 of 32 queued
+            shed_priority_floor=1,
+            retry_after_s=0.2,
+        ),
+    )
+    host, port = background.start()
+    direct = ServiceClient(f"http://{host}:{port}", backoff_s=0.05)
+    proxy = ChaosProxy(
+        (host, port),
+        seed=7,
+        delay_p=0.10, delay_s=0.02,
+        drop_p=0.12,
+        reset_p=0.08,
+        partial_p=0.10, partial_bytes=80,
+        trickle_p=0.10, trickle_chunk=9, trickle_delay_s=0.001,
+        io_timeout_s=30.0,
+    )
+    proxy.start()
+    worker = None
+    try:
+        # -- submit storm through the proxy (no workers yet) ---------
+        jobs = {}
+        for seed, circuit in circuits.items():
+            record = _submit_through_chaos(
+                proxy.url, circuit, tenant="vip"
+            )
+            jobs[seed] = record["job_id"]
+        assert len(set(jobs.values())) == JOBS  # dedupe-safe storm
+
+        # -- deterministic shed phase: the queue is loaded, the node
+        #    is degraded, a walk-in (priority 0) is refused honestly
+        doc = direct.healthz()
+        assert doc["ok"] is True and doc["status"] == "degraded"
+        walkin = ServiceClient(f"http://{host}:{port}", retries=0)
+        with pytest.raises(AdmissionError) as caught:
+            walkin.submit(
+                synthesize_circuit(spec, seed=999),
+                config=KMB, width=3, tenant="walkin",
+            )
+        assert caught.value.code == "OVERLOADED"
+        assert direct.metrics()["http"]["shed"]["submits"] >= 1
+
+        # -- start the worker pool and SSE watchers ------------------
+        worker = threading.Thread(
+            target=lambda: service.serve(
+                workers=3, poll_s=0.05, exit_when_idle=True,
+                install_signal_handlers=False,
+            ),
+            daemon=True,
+        )
+        worker.start()
+
+        watched = list(jobs.items())[:WATCHERS]
+        streams = {seed: [] for seed, _ in watched}
+        flags = []
+        for seed, job_id in watched:
+            done = threading.Event()
+            flags.append(done)
+            threading.Thread(
+                target=_watch_through_chaos,
+                args=(proxy.url, job_id, streams[seed], done),
+                daemon=True,
+            ).start()
+
+        # -- every accepted job must finish, chaos or not ------------
+        for seed, job_id in jobs.items():
+            record = direct.wait(job_id, timeout_s=300.0)
+            assert record["state"] == "done", record
+            assert record["verified"] is True
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+
+        for done in flags:
+            assert done.wait(60)
+        for seed, got in streams.items():
+            assert got, f"watcher for seed {seed} saw nothing"
+            assert got[-1] == "state"
+            ids = [e for e in got[:-1] if isinstance(e, int)]
+            # reconnects never lost or re-delivered a trace line
+            assert ids == sorted(set(ids))
+
+        # -- every result re-certified by the independent checker ----
+        for seed, job_id in jobs.items():
+            result = direct.result(job_id)
+            circuit = circuits[seed]
+            arch = xc3000(
+                circuit.rows, circuit.cols, result.channel_width
+            )
+            report = verify_result(
+                result, circuit, arch, KMB, level="full"
+            )
+            assert report.ok, (seed, report)
+
+        # -- keep hammering until every fault class has fired --------
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            counts = proxy.fault_counts()
+            if all(
+                counts.get(name, 0) >= 1
+                for name in ("delay", "drop", "reset",
+                             "partial", "trickle")
+            ):
+                break
+            probe = ServiceClient(
+                proxy.url, retries=0, timeout_s=10.0, breaker=None
+            )
+            try:
+                probe.healthz()
+            except (ReproError, OSError):
+                pass
+        counts = proxy.fault_counts()
+        for name in ("delay", "drop", "reset", "partial", "trickle"):
+            assert counts.get(name, 0) >= 1, counts
+
+        # -- the server is alive and healthy again -------------------
+        doc = direct.healthz()
+        assert doc["ok"] is True and doc["status"] == "ok"
+        metrics = direct.metrics()
+        assert metrics["http"]["shed"]["submits"] >= 1
+        assert metrics["states"].get("done", 0) >= JOBS
+    finally:
+        proxy.stop()
+        if worker is not None:
+            service.supervisor.request_drain()
+            worker.join(timeout=60)
+        background.stop()
